@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks for Osprey's hot paths: cache accesses,
+//! out-of-order core stepping, block generation, PLT lookups, and a
+//! small end-to-end accelerated run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use osprey_core::accel::{AccelConfig, AcceleratedSim};
+use osprey_core::Plt;
+use osprey_cpu::{Core, CpuConfig, OooCore};
+use osprey_isa::{BlockSpec, Privilege};
+use osprey_mem::{Hierarchy, HierarchyConfig};
+use osprey_sim::{FullSystemSim, SimConfig};
+use osprey_workloads::Benchmark;
+
+fn bench_cache_access(c: &mut Criterion) {
+    c.bench_function("hierarchy_data_access_hit", |b| {
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        mem.data_access(0x1000, false, Privilege::User);
+        b.iter(|| black_box(mem.data_access(black_box(0x1000), false, Privilege::User)));
+    });
+    c.bench_function("hierarchy_data_access_stream", |b| {
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64);
+            black_box(mem.data_access(black_box(addr), false, Privilege::Kernel))
+        });
+    });
+}
+
+fn bench_ooo_step(c: &mut Criterion) {
+    c.bench_function("ooo_step_10k_instructions", |b| {
+        let spec = BlockSpec::new(0x40_0000, 10_000);
+        b.iter(|| {
+            let mut core = OooCore::new(CpuConfig::pentium4());
+            let mut mem = Hierarchy::new(HierarchyConfig::default());
+            for instr in spec.generate(1) {
+                core.step(&instr, &mut mem, Privilege::User);
+            }
+            black_box(core.cycles())
+        });
+    });
+}
+
+fn bench_block_generation(c: &mut Criterion) {
+    c.bench_function("blockgen_10k_instructions", |b| {
+        let spec = BlockSpec::new(0x40_0000, 10_000);
+        b.iter(|| black_box(spec.generate(black_box(7)).count()));
+    });
+}
+
+fn bench_plt_lookup(c: &mut Criterion) {
+    c.bench_function("plt_lookup_among_16_clusters", |b| {
+        let mut plt = Plt::new(0.05);
+        for i in 1..=16u64 {
+            plt.learn(i * 3_000, i * 6_000, &Default::default());
+        }
+        b.iter(|| black_box(plt.lookup(black_box(24_100))));
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("detailed_iperf_tiny", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.01);
+            black_box(FullSystemSim::new(cfg).run_to_completion().total_cycles)
+        });
+    });
+    g.bench_function("accelerated_iperf_tiny", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.01);
+            black_box(
+                AcceleratedSim::new(cfg, AccelConfig::default())
+                    .run()
+                    .report
+                    .total_cycles,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache_access,
+    bench_ooo_step,
+    bench_block_generation,
+    bench_plt_lookup,
+    bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation — scaled-cluster range fraction (the paper fixes ±5%).
+//!
+//! Sweeps the range fraction and reports coverage and execution-time
+//! error: too-small ranges fragment behavior points (longer learning,
+//! more outliers, lower coverage); too-large ranges merge distinct
+//! points (worse accuracy).
+
+use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, statistical, L2_DEFAULT};
+use osprey_core::accel::AccelConfig;
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Ablation: cluster range fraction (Statistical strategy, scale {scale})\n");
+    for b in [Benchmark::AbRand, Benchmark::AbSeq] {
+        let full = detailed(b, L2_DEFAULT, scale);
+        let mut t = Table::new(["range", "coverage", "|error|", "sys_read clusters"]);
+        for range in [0.01, 0.02, 0.05, 0.10, 0.25] {
+            let cfg = AccelConfig {
+                cluster_range: range,
+                ..AccelConfig::with_strategy(statistical())
+            };
+            let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
+            let read_clusters = out
+                .clusters_per_service
+                .iter()
+                .find(|(s, _)| *s == osprey_isa::ServiceId::SysRead)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
+            t.row([
+                format!("{:.0}%", range * 100.0),
+                pct(out.coverage()),
+                pct(osprey_stats::summary::abs_relative_error(
+                    out.report.total_cycles as f64,
+                    full.total_cycles as f64,
+                )),
+                read_clusters.to_string(),
+            ]);
+        }
+        println!("{b}:\n{t}");
+    }
+}

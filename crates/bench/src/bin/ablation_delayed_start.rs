@@ -1,0 +1,38 @@
+//! Ablation — delayed start of learning (the paper skips the first 5
+//! invocations; §6.1 notes that delaying find-od's start to 25 improves
+//! its L2 miss-rate accuracy).
+
+use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, statistical, L2_DEFAULT};
+use osprey_core::accel::AccelConfig;
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Ablation: delayed learning start (scale {scale})\n");
+    for b in [Benchmark::FindOd, Benchmark::AbSeq] {
+        let full = detailed(b, L2_DEFAULT, scale);
+        let mut t = Table::new(["delay", "coverage", "|time err|", "|L2 missrate diff| (pp)"]);
+        for delay in [0u64, 5, 25] {
+            let cfg = AccelConfig {
+                warmup: delay,
+                relearn_warmup: delay,
+                ..AccelConfig::with_strategy(statistical())
+            };
+            let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
+            t.row([
+                delay.to_string(),
+                pct(out.coverage()),
+                pct(osprey_stats::summary::abs_relative_error(
+                    out.report.total_cycles as f64,
+                    full.total_cycles as f64,
+                )),
+                format!(
+                    "{:.2}",
+                    (out.report.l2_miss_rate() - full.l2_miss_rate()).abs() * 100.0
+                ),
+            ]);
+        }
+        println!("{b}:\n{t}");
+    }
+}

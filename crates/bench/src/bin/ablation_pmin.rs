@@ -1,0 +1,44 @@
+//! Ablation — minimum probability of occurrence p_min (the paper uses
+//! 3%, which sizes the initial learning window to ~100 at 95% DoC).
+//!
+//! Smaller p_min means longer learning windows (lower coverage, better
+//! capture of rare behavior points); larger p_min the reverse.
+
+use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, L2_DEFAULT};
+use osprey_core::accel::AccelConfig;
+use osprey_core::RelearnStrategy;
+use osprey_report::Table;
+use osprey_stats::learning_window;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Ablation: p_min and the derived learning window (scale {scale})\n");
+    for b in [Benchmark::AbRand, Benchmark::Iperf] {
+        let full = detailed(b, L2_DEFAULT, scale);
+        let mut t = Table::new(["p_min", "window", "coverage", "|error|"]);
+        for p_min in [0.01, 0.02, 0.03, 0.05, 0.10] {
+            let window = learning_window(p_min, 0.95).unwrap();
+            let cfg = AccelConfig {
+                learning_window: window,
+                strategy: RelearnStrategy::Statistical {
+                    p_min,
+                    alpha: 0.05,
+                    min_epos: 4,
+                },
+                ..AccelConfig::default()
+            };
+            let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
+            t.row([
+                format!("{:.0}%", p_min * 100.0),
+                window.to_string(),
+                pct(out.coverage()),
+                pct(osprey_stats::summary::abs_relative_error(
+                    out.report.total_cycles as f64,
+                    full.total_cycles as f64,
+                )),
+            ]);
+        }
+        println!("{b}:\n{t}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation — the §4.5 cache-pollution model on vs off.
+//!
+//! Without pollution, predicted OS intervals leave the application's
+//! cache contents untouched, so the application (and any still-simulated
+//! services) run against an unrealistically quiet memory system.
+
+use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, statistical, L2_DEFAULT};
+use osprey_core::accel::AccelConfig;
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Ablation: cache pollution model (Statistical strategy, scale {scale})\n");
+    let mut t = Table::new(["benchmark", "|err| with pollution", "|err| without"]);
+    for b in Benchmark::OS_INTENSIVE {
+        let full = detailed(b, L2_DEFAULT, scale);
+        let mut errs = [0.0f64; 2];
+        for (i, pollution) in [true, false].into_iter().enumerate() {
+            let cfg = AccelConfig {
+                pollution,
+                ..AccelConfig::with_strategy(statistical())
+            };
+            let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
+            errs[i] = osprey_stats::summary::abs_relative_error(
+                out.report.total_cycles as f64,
+                full.total_cycles as f64,
+            );
+        }
+        t.row([b.name().to_string(), pct(errs[0]), pct(errs[1])]);
+    }
+    println!("{t}");
+    println!("Expected: disabling pollution increases error, most visibly for the");
+    println!("benchmarks whose applications and services share cache capacity.");
+}

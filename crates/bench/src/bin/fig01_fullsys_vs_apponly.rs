@@ -1,0 +1,35 @@
+//! Fig. 1 — Full-system vs application-only simulation: L2 misses,
+//! execution time, and IPC of App+OS normalized to App-Only.
+//!
+//! Paper reference: L2 misses up to 405x, execution time up to 126x for
+//! OS-intensive applications; SPEC2000 near 1.0x on every metric.
+
+use osprey_bench::{app_only, detailed, fmt2, scale_from_args, L2_DEFAULT};
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 1: full-system (App+OS) normalized to application-only (scale {scale})\n");
+    let mut t = Table::new([
+        "benchmark",
+        "L2 misses (x)",
+        "exec time (x)",
+        "IPC (x)",
+        "OS instr frac",
+    ]);
+    for b in Benchmark::ALL {
+        let full = detailed(b, L2_DEFAULT, scale);
+        let app = app_only(b, L2_DEFAULT, scale);
+        t.row([
+            b.name().to_string(),
+            fmt2(full.l2_misses() as f64 / app.l2_misses().max(1) as f64),
+            fmt2(full.total_cycles as f64 / app.total_cycles.max(1) as f64),
+            fmt2(full.ipc() / app.ipc()),
+            fmt2(full.os_fraction()),
+        ]);
+    }
+    println!("{t}");
+    println!("Expected shape (paper): OS-intensive rows far above 1.0x (up to hundreds);");
+    println!("gzip/vpr/art/swim rows near 1.0x on all metrics.");
+}

@@ -1,0 +1,35 @@
+//! Fig. 3 — Average and range (mean ± std dev) of per-interval cycles and
+//! IPC for every OS service invoked more than once, for ab-rand and
+//! ab-seq.
+//!
+//! Paper reference: services run a few thousand to a few tens of
+//! thousands of cycles, IPC between 0.09 and 0.47, with large ranges.
+
+use osprey_bench::{detailed, scale_from_args, L2_DEFAULT};
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    for b in [Benchmark::AbRand, Benchmark::AbSeq] {
+        let report = detailed(b, L2_DEFAULT, scale);
+        println!("Fig. 3 ({b}): per-service cycles and IPC (mean +/- std dev)\n");
+        let mut t = Table::new(["service", "n", "cycles", "+/-", "IPC", "+/-"]);
+        for s in report.service_summaries() {
+            if s.count < 2 {
+                continue;
+            }
+            t.row([
+                s.service.name().to_string(),
+                s.count.to_string(),
+                format!("{:.0}", s.cycles.mean()),
+                format!("{:.0}", s.cycles.population_std_dev()),
+                format!("{:.3}", s.ipc.mean()),
+                format!("{:.3}", s.ipc.population_std_dev()),
+            ]);
+        }
+        println!("{t}");
+    }
+    println!("Expected shape (paper): thousands-to-tens-of-thousands of cycles per");
+    println!("service, low IPC (~0.1-0.5), wide ranges, and per-benchmark differences.");
+}

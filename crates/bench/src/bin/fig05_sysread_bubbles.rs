@@ -1,0 +1,41 @@
+//! Fig. 5 — Bubble histogram of `sys_read` behavior points: instruction
+//! bins (1000) x cycle bins (4000); bubble area ~ occurrences.
+//!
+//! Paper reference: few large bubbles — occurrences concentrate into a
+//! handful of (instructions, cycles) clusters, and for a given
+//! instruction bin the cycles fall in a narrow range.
+
+use osprey_bench::{detailed, scale_from_args, L2_DEFAULT};
+use osprey_isa::ServiceId;
+use osprey_report::Table;
+use osprey_stats::BubbleHistogram;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    for b in [Benchmark::AbRand, Benchmark::AbSeq] {
+        let report = detailed(b, L2_DEFAULT, scale);
+        let mut hist = BubbleHistogram::new(1000.0, 4000.0);
+        for r in &report.intervals {
+            if r.service == ServiceId::SysRead {
+                hist.add(r.instructions as f64, r.cycles as f64);
+            }
+        }
+        println!("Fig. 5 ({b}): sys_read bubbles (instr bin x cycle bin -> count)\n");
+        let mut t = Table::new(["instr bin center", "cycle bin center", "count"]);
+        let mut bubbles = hist.bubbles();
+        bubbles.sort_by_key(|bb| std::cmp::Reverse(bb.count));
+        for bb in &bubbles {
+            let (x, y) = hist.cell_center(bb.x_bin, bb.y_bin);
+            t.row([format!("{x:.0}"), format!("{y:.0}"), bb.count.to_string()]);
+        }
+        println!("{t}");
+        println!(
+            "occupied cells: {}, top-5 concentration: {:.1}%\n",
+            bubbles.len(),
+            hist.concentration(5) * 100.0
+        );
+    }
+    println!("Expected shape (paper): most occurrences in a few cells (high top-5");
+    println!("concentration); per instruction bin, cycles span few cycle bins.");
+}

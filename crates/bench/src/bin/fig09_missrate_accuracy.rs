@@ -1,0 +1,50 @@
+//! Fig. 9 — L1I / L1D / L2 miss rates: full-system simulation vs the
+//! accelerated simulation's (measured + predicted) rates.
+//!
+//! Paper reference: absolute differences of 1% or less (1.4% worst, L2
+//! of find-od).
+
+use osprey_bench::{accelerated, detailed, scale_from_args, statistical, L2_DEFAULT};
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 9: cache miss rates, full-system vs predicted (scale {scale})\n");
+    let mut t = Table::new([
+        "benchmark",
+        "L1I full",
+        "L1I pred",
+        "L1D full",
+        "L1D pred",
+        "L2 full",
+        "L2 pred",
+        "max |diff|",
+    ]);
+    for b in Benchmark::OS_INTENSIVE {
+        let full = detailed(b, L2_DEFAULT, scale);
+        let accel = accelerated(b, L2_DEFAULT, scale, statistical());
+        let rows = [
+            (full.l1i_miss_rate(), accel.report.l1i_miss_rate()),
+            (full.l1d_miss_rate(), accel.report.l1d_miss_rate()),
+            (full.l2_miss_rate(), accel.report.l2_miss_rate()),
+        ];
+        let maxdiff = rows
+            .iter()
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        t.row([
+            b.name().to_string(),
+            format!("{:.2}%", rows[0].0 * 100.0),
+            format!("{:.2}%", rows[0].1 * 100.0),
+            format!("{:.2}%", rows[1].0 * 100.0),
+            format!("{:.2}%", rows[1].1 * 100.0),
+            format!("{:.2}%", rows[2].0 * 100.0),
+            format!("{:.2}%", rows[2].1 * 100.0),
+            format!("{:.2}pp", maxdiff * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!("Expected shape (paper): predicted rates within ~1 percentage point of");
+    println!("full simulation, L2 slightly less accurate than L1.");
+}

@@ -1,0 +1,41 @@
+//! Fig. 12 — Absolute execution-time prediction error with 1, 2, and
+//! 4 MiB L2 caches (8-way).
+//!
+//! Paper reference: errors stay in the few-percent range across sizes,
+//! slightly declining for larger caches.
+
+use osprey_bench::{accelerated, detailed, pct, scale_from_args, statistical};
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Fig. 12: prediction error across L2 sizes (Statistical, scale {scale})\n");
+    let sizes = [1024 * 1024u64, 2 * 1024 * 1024, 4 * 1024 * 1024];
+    let mut t = Table::new(["benchmark", "1MB", "2MB", "4MB"]);
+    let mut sums = [0.0f64; 3];
+    for b in Benchmark::OS_INTENSIVE {
+        let mut row = vec![b.name().to_string()];
+        for (i, &l2) in sizes.iter().enumerate() {
+            let full = detailed(b, l2, scale);
+            let out = accelerated(b, l2, scale, statistical());
+            let e = osprey_stats::summary::abs_relative_error(
+                out.report.total_cycles as f64,
+                full.total_cycles as f64,
+            );
+            sums[i] += e;
+            row.push(pct(e));
+        }
+        t.row(row);
+    }
+    let n = Benchmark::OS_INTENSIVE.len() as f64;
+    t.row([
+        "average".to_string(),
+        pct(sums[0] / n),
+        pct(sums[1] / n),
+        pct(sums[2] / n),
+    ]);
+    println!("{t}");
+    println!("Expected shape (paper): accuracy holds across L2 sizes, with the");
+    println!("average error flat or slightly declining for larger caches.");
+}

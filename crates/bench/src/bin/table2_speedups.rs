@@ -1,0 +1,70 @@
+//! Table 2 — Simulation speedup per benchmark: the paper's Eq. 10
+//! estimate (using the measured mode slowdowns) plus the speedup Osprey
+//! can measure directly, since unlike Simics it *can* switch between
+//! detailed simulation and fast-forwarding dynamically.
+//!
+//! Paper reference: estimated 2.8x (ab-rand) to 15.6x (iperf), geometric
+//! mean 4.9x, against a 133x detailed/emulation cost ratio. Osprey's
+//! compiled cores have a much smaller mode-cost ratio, so its Eq. 10
+//! estimates are lower; the paper-ratio column applies Eq. 10 with the
+//! paper's 1/133 for comparison.
+
+use osprey_bench::{accelerated, detailed, scale_from_args, statistical, L2_DEFAULT};
+use osprey_core::{estimated_speedup, measure_mode_slowdowns};
+use osprey_report::Table;
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table 2: simulation speedups (Statistical strategy, scale {scale})\n");
+    let modes = measure_mode_slowdowns(Benchmark::AbRand, 1, (scale * 0.25).min(0.25));
+    let ratio = modes.profile_over_full();
+    let mut t = Table::new([
+        "benchmark",
+        "coverage",
+        "instr cov",
+        "Eq.10 est (x)",
+        "Eq.10 @1/133 (x)",
+        "measured wall (x)",
+    ]);
+    let mut est = Vec::new();
+    let mut paper_est = Vec::new();
+    let mut wall = Vec::new();
+    for b in Benchmark::OS_INTENSIVE {
+        let full = detailed(b, L2_DEFAULT, scale);
+        let out = accelerated(b, L2_DEFAULT, scale, statistical());
+        let n = out.report.total_instructions;
+        // X counts only the OS instructions fast-forwarded in emulation;
+        // user code and learning periods stay in detailed mode.
+        let x = out.stats.predicted_os_instructions;
+        let s_est = estimated_speedup(n, x, ratio);
+        let s_paper = estimated_speedup(n, x, 1.0 / 133.0);
+        let s_wall = full.wall.as_secs_f64() / out.report.wall.as_secs_f64().max(1e-9);
+        est.push(s_est);
+        paper_est.push(s_paper);
+        wall.push(s_wall);
+        t.row([
+            b.name().to_string(),
+            format!("{:.0}%", out.coverage() * 100.0),
+            format!("{:.0}%", x as f64 / n as f64 * 100.0),
+            format!("{s_est:.1}"),
+            format!("{s_paper:.1}"),
+            format!("{s_wall:.1}"),
+        ]);
+    }
+    t.row([
+        "gmean".to_string(),
+        "".to_string(),
+        "".to_string(),
+        format!("{:.1}", osprey_stats::geometric_mean(&est)),
+        format!("{:.1}", osprey_stats::geometric_mean(&paper_est)),
+        format!("{:.1}", osprey_stats::geometric_mean(&wall)),
+    ]);
+    println!("{t}");
+    println!(
+        "measured T_profile/T_full = 1/{:.1}; the paper's Simics ratio was 1/133",
+        modes.ooo_cache
+    );
+    println!("Expected shape (paper): iperf highest, ab-rand/find-od lowest,");
+    println!("substantial speedups throughout (paper gmean 4.9x at 1/133).");
+}

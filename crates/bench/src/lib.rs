@@ -1,0 +1,141 @@
+//! Shared harness for the figure/table regenerators.
+//!
+//! Every binary in `src/bin/` reproduces one table or figure of the
+//! paper's evaluation (see DESIGN.md §3 for the index). They share the
+//! run helpers here so that all experiments use the same machine
+//! configuration, seeds, and workload scales.
+//!
+//! Scale: binaries accept an optional first CLI argument (or the
+//! `OSPREY_SCALE` environment variable) setting the workload scale;
+//! `1.0` (the default) is the paper-like default length of every
+//! workload.
+
+use osprey_core::accel::{AccelConfig, AccelOutcome, AcceleratedSim};
+use osprey_core::RelearnStrategy;
+use osprey_sim::{FullSystemSim, OsMode, RunReport, SimConfig};
+use osprey_workloads::Benchmark;
+
+/// Master seed shared by every experiment run.
+pub const SEED: u64 = 1;
+
+/// The paper's default L2 capacity.
+pub const L2_DEFAULT: u64 = 1024 * 1024;
+
+/// Reads the workload scale from argv[1] or `OSPREY_SCALE` (default 1.0).
+///
+/// # Panics
+///
+/// Panics if the provided value is not a positive number.
+pub fn scale_from_args() -> f64 {
+    let raw = std::env::args()
+        .nth(1)
+        .or_else(|| std::env::var("OSPREY_SCALE").ok());
+    match raw {
+        None => 1.0,
+        Some(s) => {
+            let v: f64 = s.parse().expect("scale must be a number");
+            assert!(v > 0.0, "scale must be positive");
+            v
+        }
+    }
+}
+
+/// A full-system detailed (ooo-cache) run.
+pub fn detailed(benchmark: Benchmark, l2_bytes: u64, scale: f64) -> RunReport {
+    FullSystemSim::new(
+        SimConfig::new(benchmark)
+            .with_seed(SEED)
+            .with_scale(scale)
+            .with_l2_bytes(l2_bytes),
+    )
+    .run_to_completion()
+}
+
+/// An application-only run (system calls and interrupts skipped).
+pub fn app_only(benchmark: Benchmark, l2_bytes: u64, scale: f64) -> RunReport {
+    FullSystemSim::new(
+        SimConfig::new(benchmark)
+            .with_seed(SEED)
+            .with_scale(scale)
+            .with_l2_bytes(l2_bytes)
+            .with_os_mode(OsMode::AppOnly),
+    )
+    .run_to_completion()
+}
+
+/// An accelerated run with the given re-learning strategy.
+pub fn accelerated(
+    benchmark: Benchmark,
+    l2_bytes: u64,
+    scale: f64,
+    strategy: RelearnStrategy,
+) -> AccelOutcome {
+    accelerated_with(
+        benchmark,
+        l2_bytes,
+        scale,
+        AccelConfig::with_strategy(strategy),
+    )
+}
+
+/// An accelerated run with a fully custom acceleration configuration.
+pub fn accelerated_with(
+    benchmark: Benchmark,
+    l2_bytes: u64,
+    scale: f64,
+    cfg: AccelConfig,
+) -> AccelOutcome {
+    AcceleratedSim::new(
+        SimConfig::new(benchmark)
+            .with_seed(SEED)
+            .with_scale(scale)
+            .with_l2_bytes(l2_bytes),
+        cfg,
+    )
+    .run()
+}
+
+/// The paper's Statistical strategy at its published operating point.
+pub fn statistical() -> RelearnStrategy {
+    RelearnStrategy::Statistical {
+        p_min: 0.03,
+        alpha: 0.05,
+        min_epos: 4,
+    }
+}
+
+/// Formats a ratio as `x.xx`.
+pub fn fmt2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Absolute relative error as a percentage string.
+pub fn err_pct(measured: f64, reference: f64) -> String {
+    pct(osprey_stats::summary::abs_relative_error(measured, reference))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_consistent_runs() {
+        let det = detailed(Benchmark::Iperf, L2_DEFAULT, 0.02);
+        let app = app_only(Benchmark::Iperf, L2_DEFAULT, 0.02);
+        assert!(det.total_cycles > app.total_cycles);
+        let acc = accelerated(Benchmark::Iperf, L2_DEFAULT, 0.02, statistical());
+        assert_eq!(acc.report.total_instructions, det.total_instructions);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt2(1.234), "1.23");
+        assert_eq!(pct(0.891), "89.1%");
+        assert_eq!(err_pct(103.2, 100.0), "3.2%");
+    }
+}

@@ -1,0 +1,256 @@
+//! Minimal dependency-free argument parsing for the `osprey` CLI.
+
+use std::collections::HashMap;
+
+use osprey_core::RelearnStrategy;
+use osprey_workloads::Benchmark;
+
+/// A parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Errors produced while interpreting the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--key` with no following value.
+    MissingValue(String),
+    /// An argument that is neither a subcommand nor a `--key`.
+    Unexpected(String),
+    /// A value failed to parse.
+    Invalid {
+        /// The option name.
+        key: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing subcommand; try `osprey help`"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::Unexpected(a) => write!(f, "unexpected argument `{a}`"),
+            ArgError::Invalid {
+                key,
+                value,
+                expected,
+            } => write!(f, "invalid value `{value}` for --{key}: expected {expected}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Splits raw arguments (without the program name) into a subcommand and
+/// `--key value` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_cli::args::parse;
+///
+/// let parsed = parse(&["run".into(), "--benchmark".into(), "du".into()]).unwrap();
+/// assert_eq!(parsed.command, "run");
+/// assert_eq!(parsed.options["benchmark"], "du");
+/// ```
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut iter = args.iter();
+    let command = iter.next().ok_or(ArgError::MissingCommand)?.clone();
+    let mut options = HashMap::new();
+    while let Some(arg) = iter.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| ArgError::Unexpected(arg.clone()))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(ParsedArgs { command, options })
+}
+
+impl ParsedArgs {
+    /// Reads an option parsed with `FromStr`, or the default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::Invalid {
+                key: key.to_string(),
+                value: raw.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// Reads the benchmark option (default `iperf`).
+    pub fn benchmark(&self) -> Result<Benchmark, ArgError> {
+        let raw = self
+            .options
+            .get("benchmark")
+            .map(String::as_str)
+            .unwrap_or("iperf");
+        benchmark_by_name(raw).ok_or(ArgError::Invalid {
+            key: "benchmark".into(),
+            value: raw.to_string(),
+            expected: "one of ab-rand, ab-seq, du, find-od, iperf, gzip, vpr, art, swim",
+        })
+    }
+
+    /// Reads the re-learning strategy option (default `statistical`).
+    pub fn strategy(&self) -> Result<RelearnStrategy, ArgError> {
+        let raw = self
+            .options
+            .get("strategy")
+            .map(String::as_str)
+            .unwrap_or("statistical");
+        strategy_by_name(raw).ok_or(ArgError::Invalid {
+            key: "strategy".into(),
+            value: raw.to_string(),
+            expected: "one of best-match, eager, delayed, statistical",
+        })
+    }
+
+    /// Reads the L2 size option, accepting `512K`/`1M`-style suffixes
+    /// (default 1 MiB).
+    pub fn l2_bytes(&self) -> Result<u64, ArgError> {
+        let raw = self.options.get("l2").map(String::as_str).unwrap_or("1M");
+        parse_size(raw).ok_or(ArgError::Invalid {
+            key: "l2".into(),
+            value: raw.to_string(),
+            expected: "a size such as 512K, 1M, 2M",
+        })
+    }
+}
+
+/// Looks a benchmark up by its paper name.
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL.into_iter().find(|b| b.name() == name)
+}
+
+/// Looks a re-learning strategy up by name (paper parameters).
+pub fn strategy_by_name(name: &str) -> Option<RelearnStrategy> {
+    match name {
+        "best-match" => Some(RelearnStrategy::BestMatch),
+        "eager" => Some(RelearnStrategy::Eager),
+        "delayed" => Some(RelearnStrategy::Delayed { threshold: 4 }),
+        "statistical" => Some(RelearnStrategy::Statistical {
+            p_min: 0.03,
+            alpha: 0.05,
+            min_epos: 4,
+        }),
+        _ => None,
+    }
+}
+
+/// Parses `4096`, `512K`, `1M`, `2G` into bytes.
+pub fn parse_size(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    let (digits, multiplier) = match raw.chars().last()? {
+        'k' | 'K' => (&raw[..raw.len() - 1], 1024),
+        'm' | 'M' => (&raw[..raw.len() - 1], 1024 * 1024),
+        'g' | 'G' => (&raw[..raw.len() - 1], 1024 * 1024 * 1024),
+        _ => (raw, 1),
+    };
+    let value: u64 = digits.parse().ok()?;
+    value.checked_mul(multiplier).filter(|&v| v > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse(&argv(&["compare", "--benchmark", "du", "--scale", "0.5"])).unwrap();
+        assert_eq!(p.command, "compare");
+        assert_eq!(p.options.len(), 2);
+        assert_eq!(p.benchmark().unwrap(), Benchmark::Du);
+        assert_eq!(p.get_parsed("scale", 1.0, "a number").unwrap(), 0.5);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert_eq!(parse(&[]), Err(ArgError::MissingCommand));
+        assert_eq!(
+            parse(&argv(&["run", "stray"])),
+            Err(ArgError::Unexpected("stray".into()))
+        );
+        assert_eq!(
+            parse(&argv(&["run", "--scale"])),
+            Err(ArgError::MissingValue("scale".into()))
+        );
+    }
+
+    #[test]
+    fn benchmark_names_cover_the_suite() {
+        for b in Benchmark::ALL {
+            assert_eq!(benchmark_by_name(b.name()), Some(b));
+        }
+        assert_eq!(benchmark_by_name("nginx"), None);
+    }
+
+    #[test]
+    fn strategy_names_resolve() {
+        assert_eq!(strategy_by_name("best-match"), Some(RelearnStrategy::BestMatch));
+        assert_eq!(strategy_by_name("eager"), Some(RelearnStrategy::Eager));
+        assert!(matches!(
+            strategy_by_name("delayed"),
+            Some(RelearnStrategy::Delayed { threshold: 4 })
+        ));
+        assert!(matches!(
+            strategy_by_name("statistical"),
+            Some(RelearnStrategy::Statistical { .. })
+        ));
+        assert_eq!(strategy_by_name("psychic"), None);
+    }
+
+    #[test]
+    fn sizes_parse_with_suffixes() {
+        assert_eq!(parse_size("4096"), Some(4096));
+        assert_eq!(parse_size("512K"), Some(512 * 1024));
+        assert_eq!(parse_size("1M"), Some(1024 * 1024));
+        assert_eq!(parse_size("2g"), Some(2 * 1024 * 1024 * 1024));
+        assert_eq!(parse_size("0"), None);
+        assert_eq!(parse_size("abc"), None);
+        assert_eq!(parse_size(""), None);
+    }
+
+    #[test]
+    fn defaults_apply_when_options_absent() {
+        let p = parse(&argv(&["run"])).unwrap();
+        assert_eq!(p.benchmark().unwrap(), Benchmark::Iperf);
+        assert_eq!(p.l2_bytes().unwrap(), 1024 * 1024);
+        assert!(matches!(
+            p.strategy().unwrap(),
+            RelearnStrategy::Statistical { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_values_are_reported_with_context() {
+        let p = parse(&argv(&["run", "--l2", "huge"])).unwrap();
+        match p.l2_bytes() {
+            Err(ArgError::Invalid { key, .. }) => assert_eq!(key, "l2"),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+}

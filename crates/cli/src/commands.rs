@@ -1,0 +1,300 @@
+//! CLI subcommand implementations.
+
+use osprey_core::accel::{AccelConfig, AcceleratedSim};
+use osprey_report::Table;
+use osprey_sim::{FullSystemSim, OsMode, RunReport, SimConfig};
+use osprey_workloads::Benchmark;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// The `osprey help` text.
+pub fn help_text() -> String {
+    "osprey — accelerated full-system simulation (ISPASS 2007 reproduction)
+
+USAGE:
+    osprey <command> [--option value ...]
+
+COMMANDS:
+    run        simulate one benchmark and print its report
+                 --benchmark <name>   (default iperf)
+                 --mode detailed|app-only|accelerated   (default detailed)
+                 --strategy best-match|eager|delayed|statistical
+                 --scale <f>          workload scale (default 1.0)
+                 --l2 <size>          L2 capacity, e.g. 512K, 1M (default 1M)
+                 --seed <n>           master seed (default 1)
+    compare    detailed vs accelerated: coverage, error, wall speedup
+                 (same options as run)
+    services   per-OS-service profile of a detailed run (paper Fig. 3)
+                 (same options as run)
+    window     learning-window calculator (paper Eq. 3 / Fig. 7)
+                 --pmin <f>  (default 0.03)   --doc <f>  (default 0.95)
+    list       list available benchmarks
+    help       this text
+"
+    .to_string()
+}
+
+fn sim_config(parsed: &ParsedArgs) -> Result<SimConfig, ArgError> {
+    let benchmark = parsed.benchmark()?;
+    let scale = parsed.get_parsed("scale", 1.0, "a positive number")?;
+    let seed = parsed.get_parsed("seed", 1u64, "an integer")?;
+    if scale <= 0.0 {
+        return Err(ArgError::Invalid {
+            key: "scale".into(),
+            value: scale.to_string(),
+            expected: "a positive number",
+        });
+    }
+    Ok(SimConfig::new(benchmark)
+        .with_scale(scale)
+        .with_seed(seed)
+        .with_l2_bytes(parsed.l2_bytes()?))
+}
+
+fn render_report(report: &RunReport) -> String {
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["benchmark", report.benchmark.as_str()]);
+    t.row(["core model", report.mode.as_str()]);
+    t.row(["instructions", &report.total_instructions.to_string()]);
+    t.row(["  user", &report.user_instructions.to_string()]);
+    t.row(["  OS", &report.os_instructions.to_string()]);
+    t.row(["OS fraction", &format!("{:.1}%", report.os_fraction() * 100.0)]);
+    t.row(["cycles", &report.total_cycles.to_string()]);
+    t.row(["IPC", &format!("{:.3}", report.ipc())]);
+    t.row(["L1I miss rate", &format!("{:.2}%", report.l1i_miss_rate() * 100.0)]);
+    t.row(["L1D miss rate", &format!("{:.2}%", report.l1d_miss_rate() * 100.0)]);
+    t.row(["L2 miss rate", &format!("{:.2}%", report.l2_miss_rate() * 100.0)]);
+    t.row(["OS intervals", &report.intervals.len().to_string()]);
+    t.row(["wall time", &format!("{:.2?}", report.wall)]);
+    t.render()
+}
+
+fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = sim_config(parsed)?;
+    let mode = parsed
+        .options
+        .get("mode")
+        .map(String::as_str)
+        .unwrap_or("detailed");
+    let report = match mode {
+        "detailed" => FullSystemSim::new(cfg).run_to_completion(),
+        "app-only" => {
+            FullSystemSim::new(cfg.with_os_mode(OsMode::AppOnly)).run_to_completion()
+        }
+        "accelerated" => {
+            let strategy = parsed.strategy()?;
+            let out = AcceleratedSim::new(cfg, AccelConfig::with_strategy(strategy)).run();
+            let mut text = render_report(&out.report);
+            text.push_str(&format!(
+                "coverage: {:.1}%  ({} re-learning events)\n",
+                out.coverage() * 100.0,
+                out.stats.relearn_events()
+            ));
+            return Ok(text);
+        }
+        other => {
+            return Err(ArgError::Invalid {
+                key: "mode".into(),
+                value: other.to_string(),
+                expected: "detailed, app-only, or accelerated",
+            })
+        }
+    };
+    Ok(render_report(&report))
+}
+
+fn cmd_compare(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = sim_config(parsed)?;
+    let strategy = parsed.strategy()?;
+    let detailed = FullSystemSim::new(cfg.clone()).run_to_completion();
+    let accel = AcceleratedSim::new(cfg, AccelConfig::with_strategy(strategy)).run();
+    let err = osprey_stats::summary::abs_relative_error(
+        accel.report.total_cycles as f64,
+        detailed.total_cycles as f64,
+    );
+    let mut t = Table::new(["metric", "detailed", "accelerated"]);
+    t.row([
+        "cycles".to_string(),
+        detailed.total_cycles.to_string(),
+        accel.report.total_cycles.to_string(),
+    ]);
+    t.row([
+        "IPC".to_string(),
+        format!("{:.3}", detailed.ipc()),
+        format!("{:.3}", accel.report.ipc()),
+    ]);
+    t.row([
+        "L2 miss rate".to_string(),
+        format!("{:.2}%", detailed.l2_miss_rate() * 100.0),
+        format!("{:.2}%", accel.report.l2_miss_rate() * 100.0),
+    ]);
+    t.row([
+        "wall time".to_string(),
+        format!("{:.2?}", detailed.wall),
+        format!("{:.2?}", accel.report.wall),
+    ]);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\ncoverage {:.1}%, execution-time error {:.2}%, wall speedup {:.1}x\n",
+        accel.coverage() * 100.0,
+        err * 100.0,
+        detailed.wall.as_secs_f64() / accel.report.wall.as_secs_f64().max(1e-9),
+    ));
+    Ok(out)
+}
+
+fn cmd_services(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = sim_config(parsed)?;
+    let report = FullSystemSim::new(cfg).run_to_completion();
+    let mut t = Table::new(["service", "count", "mean instr", "mean cycles", "stddev", "mean IPC"]);
+    for s in report.service_summaries() {
+        t.row([
+            s.service.name().to_string(),
+            s.count.to_string(),
+            format!("{:.0}", s.instructions.mean()),
+            format!("{:.0}", s.cycles.mean()),
+            format!("{:.0}", s.cycles.population_std_dev()),
+            format!("{:.3}", s.ipc.mean()),
+        ]);
+    }
+    Ok(t.render())
+}
+
+fn cmd_window(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let p_min = parsed.get_parsed("pmin", 0.03, "a probability in (0,1]")?;
+    let doc = parsed.get_parsed("doc", 0.95, "a confidence in (0,1)")?;
+    match osprey_stats::learning_window(p_min, doc) {
+        Some(n) => Ok(format!(
+            "capturing clusters with occurrence probability >= {:.1}% at {:.0}% \
+             confidence requires a learning window of {n} invocations\n",
+            p_min * 100.0,
+            doc * 100.0
+        )),
+        None => Err(ArgError::Invalid {
+            key: "pmin/doc".into(),
+            value: format!("{p_min}/{doc}"),
+            expected: "pmin in (0,1], doc in (0,1)",
+        }),
+    }
+}
+
+fn cmd_list() -> String {
+    let mut t = Table::new(["benchmark", "category", "OS-intensive"]);
+    for b in Benchmark::ALL {
+        let category = match b {
+            Benchmark::AbRand | Benchmark::AbSeq => "web server",
+            Benchmark::Du | Benchmark::FindOd => "unix tools",
+            Benchmark::Iperf => "network",
+            _ => "SPEC-like compute",
+        };
+        t.row([
+            b.name(),
+            category,
+            if b.is_os_intensive() { "yes" } else { "no" },
+        ]);
+    }
+    t.render()
+}
+
+/// Executes a parsed command line, returning the text to print.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_cli::{dispatch, parse};
+///
+/// let parsed = parse(&["list".into()]).unwrap();
+/// let out = dispatch(&parsed).unwrap();
+/// assert!(out.contains("iperf"));
+/// ```
+pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    match parsed.command.as_str() {
+        "run" => cmd_run(parsed),
+        "compare" => cmd_compare(parsed),
+        "services" => cmd_services(parsed),
+        "window" => cmd_window(parsed),
+        "list" => Ok(cmd_list()),
+        "help" | "--help" | "-h" => Ok(help_text()),
+        other => Err(ArgError::Unexpected(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn run(parts: &[&str]) -> Result<String, ArgError> {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        dispatch(&parse(&argv).unwrap())
+    }
+
+    #[test]
+    fn list_names_all_benchmarks() {
+        let out = run(&["list"]).unwrap();
+        for b in Benchmark::ALL {
+            assert!(out.contains(b.name()), "missing {b}");
+        }
+    }
+
+    #[test]
+    fn window_matches_the_paper() {
+        let out = run(&["window"]).unwrap();
+        assert!(out.contains("99 invocations"), "{out}");
+    }
+
+    #[test]
+    fn run_prints_a_report() {
+        let out = run(&["run", "--benchmark", "du", "--scale", "0.02"]).unwrap();
+        assert!(out.contains("OS fraction"));
+        assert!(out.contains("du"));
+    }
+
+    #[test]
+    fn run_accelerated_prints_coverage() {
+        let out = run(&[
+            "run",
+            "--benchmark",
+            "iperf",
+            "--scale",
+            "0.05",
+            "--mode",
+            "accelerated",
+        ])
+        .unwrap();
+        assert!(out.contains("coverage"));
+    }
+
+    #[test]
+    fn compare_reports_error_and_speedup() {
+        let out = run(&["compare", "--benchmark", "du", "--scale", "0.05"]).unwrap();
+        assert!(out.contains("execution-time error"));
+        assert!(out.contains("wall speedup"));
+    }
+
+    #[test]
+    fn services_lists_kernel_services() {
+        let out = run(&["services", "--benchmark", "du", "--scale", "0.05"]).unwrap();
+        assert!(out.contains("sys_lstat64"));
+    }
+
+    #[test]
+    fn bad_mode_is_rejected() {
+        let err = run(&["run", "--mode", "psychic"]).unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let err = run(&["frobnicate"]).unwrap_err();
+        assert_eq!(err, ArgError::Unexpected("frobnicate".into()));
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        let h = help_text();
+        for cmd in ["run", "compare", "services", "window", "list"] {
+            assert!(h.contains(cmd));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Library backing the `osprey` command-line tool.
+//!
+//! The CLI wraps the Osprey workspace for interactive use:
+//!
+//! ```text
+//! osprey run       --benchmark ab-rand --mode accelerated --scale 0.5
+//! osprey compare   --benchmark iperf --strategy statistical
+//! osprey services  --benchmark ab-seq
+//! osprey window    --pmin 0.03 --doc 0.95
+//! osprey list
+//! ```
+//!
+//! All subcommands are implemented as functions returning the rendered
+//! output string, so they are unit-testable without spawning processes.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, ArgError, ParsedArgs};
+pub use commands::{dispatch, help_text};

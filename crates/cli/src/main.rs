@@ -1,0 +1,20 @@
+//! The `osprey` command-line tool. See [`osprey_cli`] for the library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match osprey_cli::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprint!("{}", osprey_cli::help_text());
+            std::process::exit(2);
+        }
+    };
+    match osprey_cli::dispatch(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

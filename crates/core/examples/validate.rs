@@ -1,0 +1,22 @@
+use osprey_core::accel::{AccelConfig, AcceleratedSim};
+use osprey_core::RelearnStrategy;
+use osprey_sim::{FullSystemSim, SimConfig};
+use osprey_workloads::Benchmark;
+
+fn main() {
+    let scale = 1.0;
+    for b in Benchmark::OS_INTENSIVE {
+        let cfg = SimConfig::new(b).with_scale(scale);
+        let t = std::time::Instant::now();
+        let detailed = FullSystemSim::new(cfg.clone()).run_to_completion();
+        let dt = t.elapsed().as_secs_f64();
+        print!("{:8} detailed: cycles={:>12} ({:.0}s) | ", b, detailed.total_cycles, dt);
+        for strat in RelearnStrategy::ALL {
+            let out = AcceleratedSim::new(cfg.clone(), AccelConfig::with_strategy(strat)).run();
+            let err = (out.report.total_cycles as f64 - detailed.total_cycles as f64).abs()
+                / detailed.total_cycles as f64;
+            print!("{}: cov={:.0}% err={:.1}% | ", strat.name(), out.coverage()*100.0, err*100.0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,295 @@
+//! The accelerated full-system simulator (paper §4.5).
+//!
+//! Wraps [`osprey_sim::FullSystemSim`] and, for every OS service
+//! invocation, consults the per-service [`ServiceLearner`]:
+//!
+//! * during warm-up/learning periods the interval is fully simulated on
+//!   the detailed core and its characteristics recorded in the PLT;
+//! * during prediction periods the interval is fast-forwarded in
+//!   emulation, its signature (dynamic instruction count) is matched
+//!   against the PLT, and its cycles and cache misses are *predicted*.
+//!   Predicted OS misses displace application cache lines through the
+//!   pollution model, so the application's subsequent cache behavior
+//!   still feels the OS.
+
+use std::collections::HashMap;
+
+use osprey_isa::ServiceId;
+use osprey_sim::{FullSystemSim, RunReport, SimConfig};
+
+use crate::learning::{Decision, ServiceLearner};
+use crate::metrics::AccelStats;
+use crate::relearn::RelearnStrategy;
+
+/// Parameters of the acceleration scheme.
+///
+/// The default is the paper's operating point: Statistical re-learning,
+/// p_min = 3 %, 95 % confidence (⇒ learning window 100), warm-up 5,
+/// ±5 % scaled clusters, EPO window W = 100.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelConfig {
+    /// Re-learning strategy.
+    pub strategy: RelearnStrategy,
+    /// Initial (and re-)learning window length in invocations.
+    pub learning_window: u64,
+    /// Invocations to skip before learning starts (initialization
+    /// effects).
+    pub warmup: u64,
+    /// Scaled-cluster range as a fraction of the centroid.
+    pub cluster_range: f64,
+    /// Moving-window length for EPO estimation.
+    pub epo_window: u64,
+    /// Cold-start delay applied when a *re*-learning window opens.
+    pub relearn_warmup: u64,
+    /// Whether predicted intervals apply the §4.5 cache-pollution model
+    /// (disable only for the pollution ablation study).
+    pub pollution: bool,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self {
+            strategy: RelearnStrategy::Statistical {
+                p_min: 0.03,
+                alpha: 0.05,
+                min_epos: 4,
+            },
+            learning_window: 100,
+            warmup: 5,
+            cluster_range: 0.05,
+            epo_window: 100,
+            relearn_warmup: 5,
+            pollution: true,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// The paper's configuration with a different re-learning strategy.
+    pub fn with_strategy(strategy: RelearnStrategy) -> Self {
+        Self {
+            strategy,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of an accelerated run.
+#[derive(Debug, Clone)]
+pub struct AccelOutcome {
+    /// The run report (cycles and cache counters combine simulated and
+    /// predicted contributions).
+    pub report: RunReport,
+    /// Coverage and re-learning statistics.
+    pub stats: AccelStats,
+    /// Clusters learned per service at the end of the run.
+    pub clusters_per_service: Vec<(ServiceId, usize)>,
+}
+
+impl AccelOutcome {
+    /// The paper's headline coverage metric.
+    pub fn coverage(&self) -> f64 {
+        self.stats.coverage()
+    }
+}
+
+/// The accelerated simulator.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_core::accel::{AccelConfig, AcceleratedSim};
+/// use osprey_core::RelearnStrategy;
+/// use osprey_sim::SimConfig;
+/// use osprey_workloads::Benchmark;
+///
+/// let cfg = SimConfig::new(Benchmark::Du).with_scale(0.05);
+/// let outcome =
+///     AcceleratedSim::new(cfg, AccelConfig::with_strategy(RelearnStrategy::Eager)).run();
+/// assert!(outcome.report.total_cycles > 0);
+/// ```
+pub struct AcceleratedSim {
+    sim: FullSystemSim,
+    cfg: AccelConfig,
+    learners: HashMap<ServiceId, ServiceLearner>,
+    stats: AccelStats,
+}
+
+impl AcceleratedSim {
+    /// Builds an accelerated simulator over a cold machine.
+    pub fn new(sim_cfg: SimConfig, cfg: AccelConfig) -> Self {
+        let mut sim = FullSystemSim::new(sim_cfg);
+        sim.set_pollution_enabled(cfg.pollution);
+        Self {
+            sim,
+            cfg,
+            learners: HashMap::new(),
+            stats: AccelStats::new(),
+        }
+    }
+
+    /// Processes one OS service invocation. Returns `false` when the
+    /// workload is exhausted.
+    pub fn step(&mut self) -> bool {
+        let Some(inv) = self.sim.advance_to_service() else {
+            return false;
+        };
+        if self.sim.in_warmup() {
+            // The workload's warm-up region runs in full detail and is
+            // invisible to the learners (the paper skips it entirely).
+            self.sim.execute_service(&inv);
+            return true;
+        }
+        let cfg = &self.cfg;
+        let learner = self.learners.entry(inv.service).or_insert_with(|| {
+            ServiceLearner::with_relearn_warmup(
+                cfg.strategy,
+                cfg.learning_window,
+                cfg.warmup,
+                cfg.cluster_range,
+                cfg.epo_window,
+                cfg.relearn_warmup,
+            )
+        });
+        match learner.decide() {
+            Decision::Simulate => {
+                let relearns_before = learner.relearn_count();
+                let record = self.sim.execute_service(&inv);
+                learner.observe_simulated(&record);
+                debug_assert_eq!(learner.relearn_count(), relearns_before);
+                self.stats.count_simulated(inv.service, record.instructions);
+            }
+            Decision::Predict => {
+                let relearns_before = learner.relearn_count();
+                let signature = self.sim.emulate_service(&inv);
+                let perf = learner.predict(signature);
+                if learner.relearn_count() > relearns_before {
+                    self.stats.count_relearn();
+                }
+                self.sim
+                    .apply_prediction(inv.service, signature, perf.cycles, perf.caches);
+                self.stats.count_predicted(inv.service, signature);
+            }
+        }
+        true
+    }
+
+    /// Runs the whole workload and returns the outcome.
+    pub fn run(mut self) -> AccelOutcome {
+        while self.step() {}
+        self.into_outcome()
+    }
+
+    /// Finishes early (or after [`AcceleratedSim::run`]-style stepping)
+    /// and produces the outcome.
+    pub fn into_outcome(self) -> AccelOutcome {
+        let mut clusters: Vec<(ServiceId, usize)> = self
+            .learners
+            .iter()
+            .map(|(&s, l)| (s, l.plt().len()))
+            .collect();
+        clusters.sort_by_key(|&(s, _)| s);
+        AccelOutcome {
+            report: self.sim.report(),
+            stats: self.stats,
+            clusters_per_service: clusters,
+        }
+    }
+
+    /// Access to the per-service learners (e.g. for cluster CV analysis,
+    /// Fig. 6).
+    pub fn learners(&self) -> impl Iterator<Item = (ServiceId, &ServiceLearner)> {
+        self.learners.iter().map(|(&s, l)| (s, l))
+    }
+
+    /// Coverage so far.
+    pub fn coverage(&self) -> f64 {
+        self.stats.coverage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_workloads::Benchmark;
+
+    fn quick(benchmark: Benchmark, scale: f64) -> SimConfig {
+        SimConfig::new(benchmark).with_scale(scale).with_seed(5)
+    }
+
+    #[test]
+    fn accelerated_run_covers_most_iperf_invocations() {
+        let outcome = AcceleratedSim::new(quick(Benchmark::Iperf, 0.5), AccelConfig::default()).run();
+        // iperf is the most repetitive workload: coverage should be high
+        // once the ~105-instance warm-up+learning completes.
+        assert!(
+            outcome.coverage() > 0.7,
+            "iperf coverage = {}",
+            outcome.coverage()
+        );
+    }
+
+    #[test]
+    fn accelerated_cycles_track_detailed_cycles() {
+        let cfg = quick(Benchmark::Iperf, 0.5);
+        let detailed = FullSystemSim::new(cfg.clone()).run_to_completion();
+        let accel = AcceleratedSim::new(cfg, AccelConfig::default()).run();
+        let err = (accel.report.total_cycles as f64 - detailed.total_cycles as f64).abs()
+            / detailed.total_cycles as f64;
+        assert!(err < 0.15, "execution-time error {err}");
+        assert_eq!(
+            accel.report.total_instructions,
+            detailed.total_instructions,
+            "functional instruction stream must be identical"
+        );
+    }
+
+    #[test]
+    fn best_match_has_highest_coverage_eager_lowest() {
+        let run = |strategy| {
+            AcceleratedSim::new(
+                quick(Benchmark::AbSeq, 0.15),
+                AccelConfig::with_strategy(strategy),
+            )
+            .run()
+        };
+        let best = run(RelearnStrategy::BestMatch);
+        let eager = run(RelearnStrategy::Eager);
+        assert!(
+            best.coverage() >= eager.coverage(),
+            "Best-Match {} vs Eager {}",
+            best.coverage(),
+            eager.coverage()
+        );
+        assert_eq!(best.stats.relearn_events(), 0);
+    }
+
+    #[test]
+    fn learners_build_multiple_clusters_for_sys_read() {
+        let sim_cfg = quick(Benchmark::AbRand, 0.4);
+        let mut accel = AcceleratedSim::new(sim_cfg, AccelConfig::default());
+        while accel.step() {}
+        let read_clusters = accel
+            .learners()
+            .find(|(s, _)| *s == osprey_isa::ServiceId::SysRead)
+            .map(|(_, l)| l.plt().len())
+            .unwrap_or(0);
+        assert!(
+            read_clusters >= 2,
+            "sys_read must show multiple behavior points, got {read_clusters}"
+        );
+    }
+
+    #[test]
+    fn predicted_intervals_appear_in_report() {
+        let outcome = AcceleratedSim::new(quick(Benchmark::Du, 0.3), AccelConfig::default()).run();
+        let predicted = outcome
+            .report
+            .intervals
+            .iter()
+            .filter(|r| r.source == osprey_sim::interval::IntervalSource::Predicted)
+            .count() as u64;
+        assert_eq!(predicted, outcome.stats.predicted_invocations());
+        assert!(predicted > 0);
+    }
+}

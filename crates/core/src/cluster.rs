@@ -1,0 +1,236 @@
+//! Scaled clusters: behavior points identified by instruction-count
+//! signatures.
+//!
+//! The paper's §4.2: a fixed-size instruction bin is too coarse for small
+//! services and too fine for large ones, so clusters *scale* — the range
+//! is a fraction (±5 %) of the centroid. The centroid is the arithmetic
+//! mean of the member signatures and moves as members are added.
+
+use osprey_mem::{CacheStats, HierarchySnapshot};
+use osprey_sim::IntervalRecord;
+use osprey_stats::Streaming;
+use serde::{Deserialize, Serialize};
+
+/// The fraction of the centroid that defines a cluster's range
+/// (the paper uses centroid ± 5 %).
+pub const DEFAULT_RANGE_FRAC: f64 = 0.05;
+
+/// Performance predicted for one OS service instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedPerf {
+    /// Predicted cycles.
+    pub cycles: u64,
+    /// Predicted cache activity (kernel-owner accesses and misses).
+    pub caches: HierarchySnapshot,
+}
+
+/// One behavior point of an OS service.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_core::ScaledCluster;
+///
+/// let mut c = ScaledCluster::seed(10_000, 20_000, Default::default(), 0.05);
+/// assert!(c.matches(10_400)); // within +5%
+/// assert!(!c.matches(11_000));
+/// c.add(10_400, 21_000, &Default::default());
+/// assert_eq!(c.centroid(), 10_200.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaledCluster {
+    centroid: f64,
+    members: u64,
+    range_frac: f64,
+    cycles: Streaming,
+    l1i_accesses: Streaming,
+    l1i_misses: Streaming,
+    l1d_accesses: Streaming,
+    l1d_misses: Streaming,
+    l2_accesses: Streaming,
+    l2_misses: Streaming,
+}
+
+impl ScaledCluster {
+    /// Creates a cluster from its first member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_frac` is not in `(0, 1)` or `signature` is 0.
+    pub fn seed(
+        signature: u64,
+        cycles: u64,
+        caches: HierarchySnapshot,
+        range_frac: f64,
+    ) -> Self {
+        assert!(
+            range_frac > 0.0 && range_frac < 1.0,
+            "range fraction must be in (0, 1)"
+        );
+        assert!(signature > 0, "a signature is a positive instruction count");
+        let mut c = Self {
+            centroid: 0.0,
+            members: 0,
+            range_frac,
+            cycles: Streaming::new(),
+            l1i_accesses: Streaming::new(),
+            l1i_misses: Streaming::new(),
+            l1d_accesses: Streaming::new(),
+            l1d_misses: Streaming::new(),
+            l2_accesses: Streaming::new(),
+            l2_misses: Streaming::new(),
+        };
+        c.add(signature, cycles, &caches);
+        c
+    }
+
+    /// Creates a cluster from a simulated interval record.
+    pub fn from_record(record: &IntervalRecord, range_frac: f64) -> Self {
+        Self::seed(record.instructions, record.cycles, record.caches, range_frac)
+    }
+
+    /// Current centroid (mean member signature).
+    pub fn centroid(&self) -> f64 {
+        self.centroid
+    }
+
+    /// Number of instances absorbed.
+    pub fn members(&self) -> u64 {
+        self.members
+    }
+
+    /// Whether `signature` falls within the cluster's scaled range.
+    pub fn matches(&self, signature: u64) -> bool {
+        self.distance(signature) <= self.range_frac * self.centroid
+    }
+
+    /// Absolute distance from the centroid.
+    pub fn distance(&self, signature: u64) -> f64 {
+        (signature as f64 - self.centroid).abs()
+    }
+
+    /// Adds an instance, updating the centroid and performance
+    /// statistics.
+    pub fn add(&mut self, signature: u64, cycles: u64, caches: &HierarchySnapshot) {
+        self.members += 1;
+        self.centroid += (signature as f64 - self.centroid) / self.members as f64;
+        self.cycles.push(cycles as f64);
+        self.l1i_accesses.push(caches.l1i.os_accesses as f64);
+        self.l1i_misses.push(caches.l1i.os_misses as f64);
+        self.l1d_accesses.push(caches.l1d.os_accesses as f64);
+        self.l1d_misses.push(caches.l1d.os_misses as f64);
+        self.l2_accesses.push(caches.l2.os_accesses as f64);
+        self.l2_misses.push(caches.l2.os_misses as f64);
+    }
+
+    /// Adds an instance from a simulated interval record.
+    pub fn add_record(&mut self, record: &IntervalRecord) {
+        self.add(record.instructions, record.cycles, &record.caches);
+    }
+
+    /// Predicts the performance of an instance matching this cluster:
+    /// the recorded means of its members.
+    pub fn predict(&self) -> PredictedPerf {
+        let stat = |s: &Streaming| s.mean().round().max(0.0) as u64;
+        let level = |acc: &Streaming, miss: &Streaming| CacheStats {
+            app_accesses: 0,
+            app_misses: 0,
+            os_accesses: stat(acc),
+            os_misses: stat(miss),
+            writebacks: 0,
+        };
+        PredictedPerf {
+            cycles: stat(&self.cycles),
+            caches: HierarchySnapshot {
+                l1i: level(&self.l1i_accesses, &self.l1i_misses),
+                l1d: level(&self.l1d_accesses, &self.l1d_misses),
+                l2: level(&self.l2_accesses, &self.l2_misses),
+            },
+        }
+    }
+
+    /// Coefficient of variation of the member cycle counts — the
+    /// uniformity metric of the paper's Fig. 6.
+    pub fn cycles_cv(&self) -> f64 {
+        self.cycles.cv()
+    }
+
+    /// Cycle statistics of the members.
+    pub fn cycles_stats(&self) -> &Streaming {
+        &self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(l2_misses: u64) -> HierarchySnapshot {
+        let mut s = HierarchySnapshot::default();
+        s.l2.os_misses = l2_misses;
+        s.l2.os_accesses = l2_misses * 4;
+        s
+    }
+
+    #[test]
+    fn range_scales_with_centroid() {
+        let small = ScaledCluster::seed(1_000, 1, snap(0), 0.05);
+        let large = ScaledCluster::seed(100_000, 1, snap(0), 0.05);
+        assert!(small.matches(1_049));
+        assert!(!small.matches(1_051));
+        assert!(large.matches(104_900));
+        assert!(!large.matches(105_100));
+    }
+
+    #[test]
+    fn centroid_is_running_mean() {
+        let mut c = ScaledCluster::seed(100, 10, snap(0), 0.05);
+        c.add(200, 20, &snap(0));
+        c.add(300, 30, &snap(0));
+        assert_eq!(c.centroid(), 200.0);
+        assert_eq!(c.members(), 3);
+    }
+
+    #[test]
+    fn prediction_is_member_mean() {
+        let mut c = ScaledCluster::seed(1_000, 5_000, snap(10), 0.05);
+        c.add(1_020, 7_000, &snap(20));
+        let p = c.predict();
+        assert_eq!(p.cycles, 6_000);
+        assert_eq!(p.caches.l2.os_misses, 15);
+        assert_eq!(p.caches.l2.os_accesses, 60);
+        assert_eq!(p.caches.l2.app_accesses, 0, "predictions are OS-owned");
+    }
+
+    #[test]
+    fn range_updates_as_centroid_moves() {
+        let mut c = ScaledCluster::seed(1_000, 1, snap(0), 0.05);
+        assert!(!c.matches(1_100));
+        // Drag the centroid upward.
+        for _ in 0..20 {
+            c.add(1_050, 1, &snap(0));
+        }
+        assert!(c.matches(1_090), "centroid {:.0}", c.centroid());
+    }
+
+    #[test]
+    fn cv_reflects_cycle_dispersion() {
+        let mut tight = ScaledCluster::seed(1_000, 10_000, snap(0), 0.05);
+        tight.add(1_000, 10_100, &snap(0));
+        let mut loose = ScaledCluster::seed(1_000, 10_000, snap(0), 0.05);
+        loose.add(1_000, 50_000, &snap(0));
+        assert!(tight.cycles_cv() < loose.cycles_cv());
+    }
+
+    #[test]
+    #[should_panic(expected = "range fraction")]
+    fn rejects_bad_range() {
+        ScaledCluster::seed(100, 1, snap(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive instruction count")]
+    fn rejects_zero_signature() {
+        ScaledCluster::seed(0, 1, snap(0), 0.05);
+    }
+}

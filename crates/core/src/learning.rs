@@ -1,0 +1,402 @@
+//! Per-service learning control: the delayed start, the initial learning
+//! window, prediction, and re-learning transitions (paper §4.3–4.4).
+
+use osprey_sim::IntervalRecord;
+use osprey_stats::binomial::learning_window;
+
+use crate::cluster::PredictedPerf;
+use crate::plt::Plt;
+use crate::relearn::RelearnStrategy;
+
+/// What the accelerated simulator should do with the next instance of a
+/// service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Fully simulate (warm-up or learning period); the resulting record
+    /// must be fed back via [`ServiceLearner::observe_simulated`].
+    Simulate,
+    /// Fast-forward in emulation and predict via
+    /// [`ServiceLearner::predict`].
+    Predict,
+}
+
+/// Which phase the learner is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Initialization effects: simulate but do not record (the paper
+    /// skips the first 5 invocations, §4.4).
+    Warmup { remaining: u64 },
+    /// (Re-)learning window: simulate and record.
+    Learning { remaining: u64 },
+    /// Prediction period.
+    Predicting,
+}
+
+/// Controls learning and prediction for one OS service type.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_core::{Decision, RelearnStrategy, ServiceLearner};
+///
+/// let mut learner = ServiceLearner::paper_default(RelearnStrategy::BestMatch);
+/// // The first 5 invocations are warm-up, the next ~99 are learning.
+/// assert_eq!(learner.decide(), Decision::Simulate);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServiceLearner {
+    plt: Plt,
+    phase: Phase,
+    strategy: RelearnStrategy,
+    window: u64,
+    warmup: u64,
+    relearn_warmup: u64,
+    /// Per-service invocation counter (used for EPO windows).
+    invocation: u64,
+    /// Moving-window length for EPO computation.
+    epo_window: u64,
+    relearn_count: u64,
+}
+
+impl ServiceLearner {
+    /// Creates a learner with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0 or `range_frac` is not in `(0, 1)`.
+    pub fn new(
+        strategy: RelearnStrategy,
+        window: u64,
+        warmup: u64,
+        range_frac: f64,
+        epo_window: u64,
+    ) -> Self {
+        Self::with_relearn_warmup(strategy, window, warmup, range_frac, epo_window, warmup)
+    }
+
+    /// Like [`ServiceLearner::new`] but with a distinct cold-start delay
+    /// for *re*-learning windows.
+    ///
+    /// After a long prediction period the simulated caches hold little of
+    /// a service's working set, so the first re-simulated instances are
+    /// unrepresentatively expensive — the same initialization effect the
+    /// paper's delayed start addresses (§4.4), and the same knob its
+    /// §6.1 delay-5-to-25 experiment turns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is 0 or `range_frac` is not in `(0, 1)`.
+    pub fn with_relearn_warmup(
+        strategy: RelearnStrategy,
+        window: u64,
+        warmup: u64,
+        range_frac: f64,
+        epo_window: u64,
+        relearn_warmup: u64,
+    ) -> Self {
+        assert!(window > 0, "learning window must be positive");
+        Self {
+            plt: Plt::new(range_frac),
+            phase: if warmup > 0 {
+                Phase::Warmup { remaining: warmup }
+            } else {
+                Phase::Learning { remaining: window }
+            },
+            strategy,
+            window,
+            warmup,
+            relearn_warmup,
+            invocation: 0,
+            epo_window,
+            relearn_count: 0,
+        }
+    }
+
+    /// The paper's operating point: warm-up 5, learning window sized for
+    /// p_min = 3 % at 95 % confidence (~100), ±5 % clusters, EPO window
+    /// W = 100.
+    pub fn paper_default(strategy: RelearnStrategy) -> Self {
+        let window = learning_window(0.03, 0.95).expect("valid parameters").max(100);
+        Self::new(strategy, window, 5, 0.05, 100)
+    }
+
+    /// Cold-start delay applied before the initial learning window.
+    pub fn warmup(&self) -> u64 {
+        self.warmup
+    }
+
+    /// The PLT this learner has built.
+    pub fn plt(&self) -> &Plt {
+        &self.plt
+    }
+
+    /// How many times re-learning has been triggered.
+    pub fn relearn_count(&self) -> u64 {
+        self.relearn_count
+    }
+
+    /// Per-service invocations observed so far.
+    pub fn invocations(&self) -> u64 {
+        self.invocation
+    }
+
+    /// `true` while the learner is in a warm-up or learning period.
+    pub fn is_learning(&self) -> bool {
+        !matches!(self.phase, Phase::Predicting)
+    }
+
+    /// What to do with the next instance of this service.
+    pub fn decide(&self) -> Decision {
+        match self.phase {
+            Phase::Warmup { .. } | Phase::Learning { .. } => Decision::Simulate,
+            // A PLT can only be empty here if re-learning cleared nothing
+            // and the window produced nothing — impossible in practice,
+            // but guard anyway.
+            Phase::Predicting if self.plt.is_empty() => Decision::Simulate,
+            Phase::Predicting => Decision::Predict,
+        }
+    }
+
+    /// Feeds back a fully simulated interval (after a
+    /// [`Decision::Simulate`]).
+    pub fn observe_simulated(&mut self, record: &IntervalRecord) {
+        self.invocation += 1;
+        match self.phase {
+            Phase::Warmup { remaining } => {
+                // Initialization effects: characteristics are not
+                // recorded (cold caches, one-time setup).
+                self.phase = if remaining > 1 {
+                    Phase::Warmup {
+                        remaining: remaining - 1,
+                    }
+                } else {
+                    Phase::Learning {
+                        remaining: self.window,
+                    }
+                };
+            }
+            Phase::Learning { remaining } => {
+                self.plt
+                    .learn(record.instructions.max(1), record.cycles, &record.caches);
+                self.phase = if remaining > 1 {
+                    Phase::Learning {
+                        remaining: remaining - 1,
+                    }
+                } else {
+                    Phase::Predicting
+                };
+            }
+            Phase::Predicting => {
+                // A guarded simulate on an empty PLT: learn from it.
+                self.plt
+                    .learn(record.instructions.max(1), record.cycles, &record.caches);
+            }
+        }
+    }
+
+    /// Predicts the performance of an instance with the given signature
+    /// (after a [`Decision::Predict`]); updates outlier tracking and
+    /// possibly triggers re-learning for *subsequent* instances.
+    ///
+    /// Always returns a prediction (outliers fall back to the closest
+    /// cluster, §4.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the learner is not predicting or the PLT is
+    /// empty (i.e. [`ServiceLearner::decide`] was not honored).
+    pub fn predict(&mut self, signature: u64) -> PredictedPerf {
+        assert!(
+            matches!(self.phase, Phase::Predicting),
+            "predict() called outside a prediction period"
+        );
+        self.invocation += 1;
+        if let Some(perf) = self.plt.lookup(signature) {
+            return perf;
+        }
+        // Outlier: predict from the closest cluster, then let the
+        // strategy decide whether to re-learn.
+        let perf = self
+            .plt
+            .closest(signature)
+            .expect("decide() guards against an empty PLT");
+        let idx = self
+            .plt
+            .record_outlier(signature, self.invocation, self.epo_window);
+        if self.strategy.should_relearn(&self.plt.outliers()[idx]) {
+            self.relearn_count += 1;
+            self.plt.clear_outliers();
+            // Re-enter through the same cold-start delay as the initial
+            // learning period (§4.4): after a long prediction period the
+            // simulated caches no longer hold this service's working set,
+            // so the first few re-simulated instances are as unrepresen-
+            // tative as the very first invocations were.
+            self.phase = if self.relearn_warmup > 0 {
+                Phase::Warmup {
+                    remaining: self.relearn_warmup,
+                }
+            } else {
+                Phase::Learning {
+                    remaining: self.window,
+                }
+            };
+        }
+        perf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_isa::ServiceId;
+    use osprey_mem::HierarchySnapshot;
+    use osprey_sim::interval::IntervalSource;
+
+    fn record(instr: u64, cycles: u64) -> IntervalRecord {
+        IntervalRecord {
+            service: ServiceId::SysRead,
+            path: "t",
+            seq: 0,
+            invocation: 0,
+            instructions: instr,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            cycles,
+            caches: HierarchySnapshot::default(),
+            source: IntervalSource::Simulated,
+        }
+    }
+
+    fn drive_to_predicting(learner: &mut ServiceLearner, instr: u64, cycles: u64) {
+        while learner.is_learning() {
+            assert_eq!(learner.decide(), Decision::Simulate);
+            learner.observe_simulated(&record(instr, cycles));
+        }
+    }
+
+    #[test]
+    fn warmup_then_learning_then_predicting() {
+        let mut learner = ServiceLearner::new(RelearnStrategy::BestMatch, 10, 5, 0.05, 100);
+        for i in 0..5 {
+            assert_eq!(learner.decide(), Decision::Simulate, "warmup {i}");
+            learner.observe_simulated(&record(1_000, 2_000));
+        }
+        // Warm-up instances must not have been recorded.
+        assert!(learner.plt().is_empty());
+        for i in 0..10 {
+            assert_eq!(learner.decide(), Decision::Simulate, "learning {i}");
+            learner.observe_simulated(&record(1_000, 2_000));
+        }
+        assert_eq!(learner.decide(), Decision::Predict);
+        assert_eq!(learner.plt().len(), 1);
+    }
+
+    #[test]
+    fn prediction_returns_learned_performance() {
+        let mut learner = ServiceLearner::new(RelearnStrategy::BestMatch, 8, 0, 0.05, 100);
+        drive_to_predicting(&mut learner, 5_000, 12_000);
+        let p = learner.predict(5_100);
+        assert_eq!(p.cycles, 12_000);
+    }
+
+    #[test]
+    fn best_match_predicts_outliers_without_relearning() {
+        let mut learner = ServiceLearner::new(RelearnStrategy::BestMatch, 4, 0, 0.05, 100);
+        drive_to_predicting(&mut learner, 5_000, 12_000);
+        for _ in 0..50 {
+            let p = learner.predict(50_000); // gross outlier
+            assert_eq!(p.cycles, 12_000, "closest-cluster fallback");
+        }
+        assert_eq!(learner.relearn_count(), 0);
+        assert_eq!(learner.decide(), Decision::Predict);
+    }
+
+    #[test]
+    fn eager_relearns_on_first_outlier() {
+        let mut learner = ServiceLearner::new(RelearnStrategy::Eager, 4, 0, 0.05, 100);
+        drive_to_predicting(&mut learner, 5_000, 12_000);
+        learner.predict(50_000);
+        assert_eq!(learner.relearn_count(), 1);
+        assert_eq!(learner.decide(), Decision::Simulate, "back to learning");
+        // The new learning window absorbs the new behavior point.
+        for _ in 0..4 {
+            learner.observe_simulated(&record(50_000, 90_000));
+        }
+        assert_eq!(learner.decide(), Decision::Predict);
+        assert_eq!(learner.predict(50_200).cycles, 90_000);
+    }
+
+    #[test]
+    fn delayed_relearns_after_four_occurrences() {
+        let mut learner =
+            ServiceLearner::new(RelearnStrategy::Delayed { threshold: 4 }, 4, 0, 0.05, 100);
+        drive_to_predicting(&mut learner, 5_000, 12_000);
+        for _ in 0..3 {
+            learner.predict(50_000);
+            assert_eq!(learner.relearn_count(), 0);
+        }
+        learner.predict(50_000);
+        assert_eq!(learner.relearn_count(), 1);
+    }
+
+    #[test]
+    fn statistical_relearns_on_dense_outliers_only() {
+        let strategy = RelearnStrategy::Statistical {
+            p_min: 0.03,
+            alpha: 0.05,
+            min_epos: 4,
+        };
+        // Dense: every prediction is the same outlier -> EPO climbs fast.
+        let mut dense = ServiceLearner::new(strategy, 4, 0, 0.05, 100);
+        drive_to_predicting(&mut dense, 5_000, 12_000);
+        for _ in 0..6 {
+            if dense.decide() != Decision::Predict {
+                break; // re-learning has kicked in
+            }
+            dense.predict(50_000);
+        }
+        assert_eq!(dense.relearn_count(), 1);
+
+        // Sparse: outlier every ~200 invocations -> EPO ~ 0.005.
+        let mut sparse = ServiceLearner::new(strategy, 4, 0, 0.05, 100);
+        drive_to_predicting(&mut sparse, 5_000, 12_000);
+        for _ in 0..8 {
+            for _ in 0..200 {
+                sparse.predict(5_000); // in-cluster
+            }
+            sparse.predict(50_000); // rare outlier
+        }
+        assert_eq!(sparse.relearn_count(), 0, "rare outliers must not trigger");
+    }
+
+    #[test]
+    fn paper_default_window_is_about_100() {
+        let learner = ServiceLearner::paper_default(RelearnStrategy::BestMatch);
+        assert_eq!(learner.window, 100);
+        assert_eq!(learner.warmup(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside a prediction period")]
+    fn predict_requires_prediction_phase() {
+        let mut learner = ServiceLearner::new(RelearnStrategy::Eager, 4, 0, 0.05, 100);
+        learner.predict(1_000);
+    }
+
+    #[test]
+    fn multiple_behavior_points_all_learned() {
+        let mut learner = ServiceLearner::new(RelearnStrategy::BestMatch, 12, 0, 0.05, 100);
+        let points = [(2_000u64, 4_000u64), (10_000, 22_000), (40_000, 95_000)];
+        let mut i = 0;
+        while learner.is_learning() {
+            let (instr, cycles) = points[i % 3];
+            learner.observe_simulated(&record(instr, cycles));
+            i += 1;
+        }
+        assert_eq!(learner.plt().len(), 3);
+        assert_eq!(learner.predict(2_050).cycles, 4_000);
+        assert_eq!(learner.predict(10_100).cycles, 22_000);
+        assert_eq!(learner.predict(39_500).cycles, 95_000);
+    }
+}

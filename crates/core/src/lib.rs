@@ -1,0 +1,59 @@
+//! Osprey core: online learning and prediction of OS-service performance
+//! for accelerating full-system simulation.
+//!
+//! This crate is the reproduction of the paper's contribution (§4):
+//!
+//! * **Behavior signatures and scaled clusters** ([`cluster`]) — an OS
+//!   service instance is identified by its dynamic instruction count; a
+//!   cluster has a centroid (running mean of member signatures) and a
+//!   ±5 % range, and carries the performance statistics (cycles, cache
+//!   misses/accesses) recorded while learning.
+//! * **Performance Lookup Table** ([`plt`]) — one per OS service type,
+//!   holding its clusters and outlier bookkeeping.
+//! * **Learning control** ([`learning`]) — the delayed start (skip the
+//!   first 5 invocations), the statically sized initial learning window
+//!   (~100 invocations for p_min = 3 %, DoC = 95 %; paper Eq. 1–3), and
+//!   the switch into prediction.
+//! * **Re-learning strategies** ([`relearn`]) — Best-Match, Eager,
+//!   Delayed, and the Student-t-based Statistical strategy (paper
+//!   Eq. 4–8).
+//! * **The accelerated simulator** ([`accel`]) — drives
+//!   [`osprey_sim::FullSystemSim`], executing each OS service either in
+//!   detailed mode (learning) or in emulation + prediction mode, applying
+//!   the §4.5 cache-pollution model for predicted intervals.
+//! * **Speedup estimation** ([`speedup`]) — measures the wall-clock cost
+//!   of the simulator's modes (Table 1) and evaluates the paper's Eq. 10
+//!   (Table 2).
+//!
+//! # Examples
+//!
+//! Accelerating a small iperf run with the Statistical strategy:
+//!
+//! ```
+//! use osprey_core::accel::{AcceleratedSim, AccelConfig};
+//! use osprey_sim::SimConfig;
+//! use osprey_workloads::Benchmark;
+//!
+//! let sim_cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.05);
+//! let mut accel = AcceleratedSim::new(sim_cfg, AccelConfig::default());
+//! let outcome = accel.run();
+//! assert!(outcome.coverage() > 0.0 && outcome.coverage() < 1.0);
+//! ```
+
+pub mod accel;
+pub mod cluster;
+pub mod learning;
+pub mod metrics;
+pub mod plt;
+pub mod relearn;
+pub mod signature;
+pub mod speedup;
+
+pub use accel::{AccelConfig, AccelOutcome, AcceleratedSim};
+pub use cluster::{PredictedPerf, ScaledCluster};
+pub use learning::{Decision, ServiceLearner};
+pub use metrics::AccelStats;
+pub use plt::Plt;
+pub use relearn::RelearnStrategy;
+pub use signature::{MixPlt, MixSignature};
+pub use speedup::{estimated_speedup, measure_mode_slowdowns, ModeSlowdowns};

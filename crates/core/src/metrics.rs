@@ -1,0 +1,138 @@
+//! Coverage and accuracy accounting for accelerated runs.
+
+use std::collections::BTreeMap;
+
+use osprey_isa::ServiceId;
+use serde::{Deserialize, Serialize};
+
+/// Per-service and aggregate counts of simulated vs predicted instances.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccelStats {
+    per_service: BTreeMap<ServiceId, (u64, u64)>, // (simulated, predicted)
+    relearn_events: u64,
+    /// OS instructions executed on the detailed core (learning periods).
+    pub simulated_os_instructions: u64,
+    /// OS instructions fast-forwarded in emulation (prediction periods).
+    pub predicted_os_instructions: u64,
+}
+
+impl AccelStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one fully simulated instance of `service`.
+    pub fn count_simulated(&mut self, service: ServiceId, instructions: u64) {
+        self.per_service.entry(service).or_insert((0, 0)).0 += 1;
+        self.simulated_os_instructions += instructions;
+    }
+
+    /// Records one predicted instance of `service`.
+    pub fn count_predicted(&mut self, service: ServiceId, instructions: u64) {
+        self.per_service.entry(service).or_insert((0, 0)).1 += 1;
+        self.predicted_os_instructions += instructions;
+    }
+
+    /// Records a re-learning trigger.
+    pub fn count_relearn(&mut self) {
+        self.relearn_events += 1;
+    }
+
+    /// Total OS service invocations.
+    pub fn total_invocations(&self) -> u64 {
+        self.per_service.values().map(|(s, p)| s + p).sum()
+    }
+
+    /// Total predicted invocations.
+    pub fn predicted_invocations(&self) -> u64 {
+        self.per_service.values().map(|(_, p)| p).sum()
+    }
+
+    /// The paper's *coverage*: fraction of OS service invocations whose
+    /// detailed simulation was skipped (§6.2).
+    pub fn coverage(&self) -> f64 {
+        let total = self.total_invocations();
+        if total == 0 {
+            0.0
+        } else {
+            self.predicted_invocations() as f64 / total as f64
+        }
+    }
+
+    /// Coverage of one service.
+    pub fn service_coverage(&self, service: ServiceId) -> f64 {
+        match self.per_service.get(&service) {
+            Some(&(s, p)) if s + p > 0 => p as f64 / (s + p) as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Number of re-learning events across all services.
+    pub fn relearn_events(&self) -> u64 {
+        self.relearn_events
+    }
+
+    /// Fraction of OS *instructions* fast-forwarded (used for Eq. 10
+    /// speedup estimates, where X is instruction-weighted).
+    pub fn instruction_coverage(&self) -> f64 {
+        let total = self.simulated_os_instructions + self.predicted_os_instructions;
+        if total == 0 {
+            0.0
+        } else {
+            self.predicted_os_instructions as f64 / total as f64
+        }
+    }
+
+    /// Iterates `(service, simulated, predicted)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (ServiceId, u64, u64)> + '_ {
+        self.per_service.iter().map(|(&s, &(sim, pred))| (s, sim, pred))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_counts_predicted_fraction() {
+        let mut stats = AccelStats::new();
+        for _ in 0..11 {
+            stats.count_simulated(ServiceId::SysRead, 1_000);
+        }
+        for _ in 0..89 {
+            stats.count_predicted(ServiceId::SysRead, 1_000);
+        }
+        assert!((stats.coverage() - 0.89).abs() < 1e-12);
+        assert_eq!(stats.total_invocations(), 100);
+    }
+
+    #[test]
+    fn per_service_coverage_is_independent() {
+        let mut stats = AccelStats::new();
+        stats.count_simulated(ServiceId::SysRead, 10);
+        stats.count_predicted(ServiceId::SysRead, 10);
+        stats.count_simulated(ServiceId::SysOpen, 10);
+        assert_eq!(stats.service_coverage(ServiceId::SysRead), 0.5);
+        assert_eq!(stats.service_coverage(ServiceId::SysOpen), 0.0);
+        assert_eq!(stats.service_coverage(ServiceId::SysClose), 0.0);
+    }
+
+    #[test]
+    fn instruction_coverage_weights_by_size() {
+        let mut stats = AccelStats::new();
+        stats.count_simulated(ServiceId::SysExecve, 100_000);
+        stats.count_predicted(ServiceId::SysGettimeofday, 400);
+        // Invocation coverage is 50%, instruction coverage is tiny.
+        assert_eq!(stats.coverage(), 0.5);
+        assert!(stats.instruction_coverage() < 0.01);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = AccelStats::new();
+        assert_eq!(stats.coverage(), 0.0);
+        assert_eq!(stats.instruction_coverage(), 0.0);
+        assert_eq!(stats.relearn_events(), 0);
+    }
+}

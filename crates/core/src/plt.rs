@@ -1,0 +1,322 @@
+//! The Performance Lookup Table (PLT).
+//!
+//! One PLT exists per OS service type (paper §4.3). Entries are scaled
+//! clusters; a separate list tracks *outlier clusters* — signatures seen
+//! during prediction periods that match no entry — including the
+//! estimated-probability-of-occurrence (EPO) samples the Statistical
+//! re-learning strategy tests (§4.4).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::{PredictedPerf, ScaledCluster};
+
+/// Bookkeeping for a signature cluster observed only as an outlier.
+///
+/// Unlike regular PLT entries, outlier entries carry no performance
+/// numbers — the instances were never fully simulated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutlierEntry {
+    centroid: f64,
+    members: u64,
+    range_frac: f64,
+    /// Per-service invocation indices at which this outlier occurred.
+    occurrences: Vec<u64>,
+    /// EPO samples (paper Eq. 4): occurrences within the trailing window,
+    /// divided by the window length, one sample per match.
+    epos: Vec<f64>,
+}
+
+impl OutlierEntry {
+    fn new(signature: u64, invocation: u64, range_frac: f64) -> Self {
+        Self {
+            centroid: signature as f64,
+            members: 1,
+            range_frac,
+            occurrences: vec![invocation],
+            epos: Vec::new(),
+        }
+    }
+
+    fn matches(&self, signature: u64) -> bool {
+        (signature as f64 - self.centroid).abs() <= self.range_frac * self.centroid
+    }
+
+    /// Records another occurrence at per-service invocation index
+    /// `invocation`, producing a new EPO over the trailing `window`
+    /// invocations.
+    fn record(&mut self, signature: u64, invocation: u64, window: u64) {
+        self.members += 1;
+        self.centroid += (signature as f64 - self.centroid) / self.members as f64;
+        self.occurrences.push(invocation);
+        let lo = invocation.saturating_sub(window);
+        let in_window = self
+            .occurrences
+            .iter()
+            .filter(|&&i| i > lo && i <= invocation)
+            .count();
+        self.epos.push(in_window as f64 / window as f64);
+    }
+
+    /// Number of times this outlier has occurred.
+    pub fn count(&self) -> u64 {
+        self.members
+    }
+
+    /// The EPO samples collected so far.
+    pub fn epos(&self) -> &[f64] {
+        &self.epos
+    }
+}
+
+/// The per-service Performance Lookup Table.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_core::Plt;
+///
+/// let mut plt = Plt::new(0.05);
+/// plt.learn(10_000, 20_000, &Default::default());
+/// plt.learn(50_000, 90_000, &Default::default());
+/// // An in-range signature matches; prediction comes from the cluster.
+/// assert!(plt.lookup(10_200).is_some());
+/// // A far-off signature is an outlier but still gets a best-match
+/// // prediction from the closest centroid.
+/// assert!(plt.lookup(30_000).is_none());
+/// assert!(plt.closest(30_000).is_some());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Plt {
+    clusters: Vec<ScaledCluster>,
+    outliers: Vec<OutlierEntry>,
+    range_frac: f64,
+}
+
+impl Plt {
+    /// Creates an empty PLT with the given cluster range fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range_frac` is not in `(0, 1)`.
+    pub fn new(range_frac: f64) -> Self {
+        assert!(
+            range_frac > 0.0 && range_frac < 1.0,
+            "range fraction must be in (0, 1)"
+        );
+        Self {
+            clusters: Vec::new(),
+            outliers: Vec::new(),
+            range_frac,
+        }
+    }
+
+    /// Number of regular (learned) clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` when no cluster has been learned.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The learned clusters.
+    pub fn clusters(&self) -> &[ScaledCluster] {
+        &self.clusters
+    }
+
+    /// The outstanding outlier entries.
+    pub fn outliers(&self) -> &[OutlierEntry] {
+        &self.outliers
+    }
+
+    /// Absorbs a fully simulated instance during a learning period: added
+    /// to the best matching cluster, or seeds a new cluster.
+    pub fn learn(
+        &mut self,
+        signature: u64,
+        cycles: u64,
+        caches: &osprey_mem::HierarchySnapshot,
+    ) {
+        match self.best_matching(signature) {
+            Some(idx) => self.clusters[idx].add(signature, cycles, caches),
+            None => self
+                .clusters
+                .push(ScaledCluster::seed(signature, cycles, *caches, self.range_frac)),
+        }
+    }
+
+    /// Index of the best *matching* cluster (closest centroid among those
+    /// whose range contains the signature), if any. Ranges may overlap;
+    /// the closest centroid wins (paper §4.2).
+    fn best_matching(&self, signature: u64) -> Option<usize> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(signature))
+            .min_by(|(_, a), (_, b)| {
+                a.distance(signature)
+                    .partial_cmp(&b.distance(signature))
+                    .expect("distances are finite")
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Predicts from the best matching cluster, or `None` if the
+    /// signature is an outlier.
+    pub fn lookup(&self, signature: u64) -> Option<PredictedPerf> {
+        self.best_matching(signature)
+            .map(|idx| self.clusters[idx].predict())
+    }
+
+    /// Predicts from the cluster with the closest centroid regardless of
+    /// range — the fallback used for outliers (§4.4). `None` only when
+    /// the PLT is empty.
+    pub fn closest(&self, signature: u64) -> Option<PredictedPerf> {
+        self.clusters
+            .iter()
+            .min_by(|a, b| {
+                a.distance(signature)
+                    .partial_cmp(&b.distance(signature))
+                    .expect("distances are finite")
+            })
+            .map(|c| c.predict())
+    }
+
+    /// Records an outlier occurrence at per-service invocation index
+    /// `invocation`, with EPOs computed over `window` trailing
+    /// invocations. Returns the index of the outlier entry it joined.
+    pub fn record_outlier(&mut self, signature: u64, invocation: u64, window: u64) -> usize {
+        if let Some(idx) = self.outliers.iter().position(|o| o.matches(signature)) {
+            self.outliers[idx].record(signature, invocation, window);
+            idx
+        } else {
+            self.outliers
+                .push(OutlierEntry::new(signature, invocation, self.range_frac));
+            self.outliers.len() - 1
+        }
+    }
+
+    /// Clears all outlier entries (done when re-learning triggers,
+    /// paper §4.4).
+    pub fn clear_outliers(&mut self) {
+        self.outliers.clear();
+    }
+
+    /// Mean coefficient of variation of cycle counts across clusters,
+    /// weighted by member count — the "Clustered" bars of Fig. 6.
+    pub fn mean_cycles_cv(&self) -> f64 {
+        let total: u64 = self.clusters.iter().map(|c| c.members()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.clusters
+            .iter()
+            .map(|c| c.cycles_cv() * c.members() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_mem::HierarchySnapshot;
+
+    fn snap() -> HierarchySnapshot {
+        HierarchySnapshot::default()
+    }
+
+    #[test]
+    fn learning_groups_similar_signatures() {
+        let mut plt = Plt::new(0.05);
+        plt.learn(10_000, 100, &snap());
+        plt.learn(10_200, 110, &snap());
+        plt.learn(10_100, 105, &snap());
+        assert_eq!(plt.len(), 1);
+        assert_eq!(plt.clusters()[0].members(), 3);
+    }
+
+    #[test]
+    fn learning_separates_distinct_signatures() {
+        let mut plt = Plt::new(0.05);
+        plt.learn(10_000, 100, &snap());
+        plt.learn(20_000, 300, &snap());
+        plt.learn(40_000, 900, &snap());
+        assert_eq!(plt.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_ranges_pick_closest_centroid() {
+        let mut plt = Plt::new(0.20);
+        plt.learn(10_000, 100, &snap());
+        plt.learn(12_500, 999, &snap()); // outside 10k ± 2k: a new cluster
+        assert_eq!(plt.len(), 2);
+        // Both clusters' ranges cover 10_700 (10k ± 2k and 12.5k ± 2.5k);
+        // the closer centroid (10_000) must win.
+        let p = plt.lookup(10_700).unwrap();
+        assert_eq!(p.cycles, 100);
+    }
+
+    #[test]
+    fn lookup_fails_for_outliers_but_closest_succeeds() {
+        let mut plt = Plt::new(0.05);
+        plt.learn(10_000, 100, &snap());
+        plt.learn(50_000, 500, &snap());
+        assert!(plt.lookup(25_000).is_none());
+        assert_eq!(plt.closest(25_000).unwrap().cycles, 100);
+        assert_eq!(plt.closest(40_000).unwrap().cycles, 500);
+    }
+
+    #[test]
+    fn empty_plt_predicts_nothing() {
+        let plt = Plt::new(0.05);
+        assert!(plt.is_empty());
+        assert!(plt.lookup(100).is_none());
+        assert!(plt.closest(100).is_none());
+    }
+
+    #[test]
+    fn outlier_entries_accumulate_and_produce_epos() {
+        let mut plt = Plt::new(0.05);
+        plt.learn(10_000, 100, &snap());
+        let idx = plt.record_outlier(30_000, 200, 100);
+        assert_eq!(plt.outliers()[idx].count(), 1);
+        assert!(plt.outliers()[idx].epos().is_empty(), "first sighting has no EPO");
+        // Three more occurrences within the same window of 100.
+        plt.record_outlier(30_100, 210, 100);
+        plt.record_outlier(29_900, 220, 100);
+        plt.record_outlier(30_050, 230, 100);
+        let o = &plt.outliers()[idx];
+        assert_eq!(o.count(), 4);
+        assert_eq!(o.epos().len(), 3);
+        // At invocation 230, 4 occurrences in the last 100 -> EPO 0.04.
+        assert!((o.epos()[2] - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_outliers_get_distinct_entries() {
+        let mut plt = Plt::new(0.05);
+        plt.record_outlier(30_000, 1, 100);
+        plt.record_outlier(90_000, 2, 100);
+        assert_eq!(plt.outliers().len(), 2);
+    }
+
+    #[test]
+    fn clear_outliers_resets_tracking() {
+        let mut plt = Plt::new(0.05);
+        plt.record_outlier(30_000, 1, 100);
+        plt.clear_outliers();
+        assert!(plt.outliers().is_empty());
+    }
+
+    #[test]
+    fn mean_cycles_cv_weights_by_members() {
+        let mut plt = Plt::new(0.05);
+        // Tight cluster with many members.
+        for _ in 0..10 {
+            plt.learn(10_000, 1_000, &snap());
+        }
+        assert!(plt.mean_cycles_cv() < 0.01);
+    }
+}

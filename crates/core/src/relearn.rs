@@ -1,0 +1,175 @@
+//! Re-learning strategies (paper §4.4).
+//!
+//! The initial learning window can miss behavior points whose occurrences
+//! are not i.i.d. — ab-seq's late-appearing file sizes are the canonical
+//! case. During prediction, every signature that matches no PLT cluster is
+//! an *outlier*; the strategy decides whether an outlier stream justifies
+//! a new learning window.
+
+use osprey_stats::student_t::upper_confidence_bound;
+use serde::{Deserialize, Serialize};
+
+use crate::plt::OutlierEntry;
+
+/// How to react to outliers during prediction periods.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RelearnStrategy {
+    /// Never re-learn; always predict outliers from the closest cluster.
+    /// Highest coverage, worst accuracy.
+    BestMatch,
+    /// Re-learn on the first outlier. Best accuracy, lowest coverage.
+    Eager,
+    /// Re-learn once an outlier cluster has occurred `threshold` times
+    /// (the paper waits for 4).
+    Delayed {
+        /// Occurrences required before re-learning.
+        threshold: u64,
+    },
+    /// Re-learn when a one-sided Student-t upper confidence bound on the
+    /// outlier cluster's occurrence probability cannot rule out that it
+    /// exceeds `p_min` (paper Eq. 4–8). Requires at least `min_epos` EPO
+    /// samples (the paper waits for 4).
+    Statistical {
+        /// Minimum occurrence probability considered important.
+        p_min: f64,
+        /// Significance level of the t-test (the paper uses 0.05).
+        alpha: f64,
+        /// EPO samples required before testing.
+        min_epos: usize,
+    },
+}
+
+impl RelearnStrategy {
+    /// The paper's four evaluated strategies with its parameters.
+    pub const ALL: [RelearnStrategy; 4] = [
+        RelearnStrategy::BestMatch,
+        RelearnStrategy::Statistical {
+            p_min: 0.03,
+            alpha: 0.05,
+            min_epos: 4,
+        },
+        RelearnStrategy::Delayed { threshold: 4 },
+        RelearnStrategy::Eager,
+    ];
+
+    /// Label matching the paper's Fig. 11.
+    pub fn name(self) -> &'static str {
+        match self {
+            RelearnStrategy::BestMatch => "Best-Match",
+            RelearnStrategy::Eager => "Eager",
+            RelearnStrategy::Delayed { .. } => "Delayed",
+            RelearnStrategy::Statistical { .. } => "Statistical",
+        }
+    }
+
+    /// Decides whether an outlier occurrence should trigger re-learning.
+    ///
+    /// `entry` is the outlier-cluster entry *after* the current
+    /// occurrence has been recorded.
+    pub fn should_relearn(self, entry: &OutlierEntry) -> bool {
+        match self {
+            RelearnStrategy::BestMatch => false,
+            RelearnStrategy::Eager => true,
+            RelearnStrategy::Delayed { threshold } => entry.count() >= threshold,
+            RelearnStrategy::Statistical {
+                p_min,
+                alpha,
+                min_epos,
+            } => {
+                let epos = entry.epos();
+                if epos.len() < min_epos {
+                    return false;
+                }
+                match upper_confidence_bound(epos, alpha) {
+                    // B_y >= p_min: we cannot rule out that this cluster
+                    // is important; conservatively re-learn.
+                    Some(bound) => bound >= p_min,
+                    None => false,
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for RelearnStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plt::Plt;
+
+    /// Builds an outlier entry with the given occurrence pattern by
+    /// replaying it through a PLT.
+    fn entry_with(occurrences: &[u64], window: u64) -> OutlierEntry {
+        let mut plt = Plt::new(0.05);
+        let mut idx = 0;
+        for &inv in occurrences {
+            idx = plt.record_outlier(30_000, inv, window);
+        }
+        plt.outliers()[idx].clone()
+    }
+
+    #[test]
+    fn best_match_never_relearns() {
+        let e = entry_with(&[1, 2, 3, 4, 5, 6, 7, 8], 100);
+        assert!(!RelearnStrategy::BestMatch.should_relearn(&e));
+    }
+
+    #[test]
+    fn eager_relearns_immediately() {
+        let e = entry_with(&[1], 100);
+        assert!(RelearnStrategy::Eager.should_relearn(&e));
+    }
+
+    #[test]
+    fn delayed_waits_for_threshold() {
+        let strategy = RelearnStrategy::Delayed { threshold: 4 };
+        assert!(!strategy.should_relearn(&entry_with(&[1, 2, 3], 100)));
+        assert!(strategy.should_relearn(&entry_with(&[1, 2, 3, 4], 100)));
+    }
+
+    #[test]
+    fn statistical_triggers_on_frequent_outliers() {
+        // Dense occurrences: ~10% of the last 100 invocations each time.
+        let occurrences: Vec<u64> = (0..12).map(|i| 200 + i * 10).collect();
+        let strategy = RelearnStrategy::Statistical {
+            p_min: 0.03,
+            alpha: 0.05,
+            min_epos: 4,
+        };
+        assert!(strategy.should_relearn(&entry_with(&occurrences, 100)));
+    }
+
+    #[test]
+    fn statistical_ignores_rare_outliers() {
+        // Five occurrences spread over 5000 invocations: EPO ~ 1-2%.
+        let occurrences: Vec<u64> = (0..6).map(|i| 1_000 + i * 900).collect();
+        let strategy = RelearnStrategy::Statistical {
+            p_min: 0.03,
+            alpha: 0.05,
+            min_epos: 4,
+        };
+        assert!(!strategy.should_relearn(&entry_with(&occurrences, 100)));
+    }
+
+    #[test]
+    fn statistical_waits_for_enough_epos() {
+        // Three occurrences = two EPOs < min_epos.
+        let strategy = RelearnStrategy::Statistical {
+            p_min: 0.03,
+            alpha: 0.05,
+            min_epos: 4,
+        };
+        assert!(!strategy.should_relearn(&entry_with(&[10, 11, 12], 100)));
+    }
+
+    #[test]
+    fn all_contains_paper_strategies_in_fig11_order() {
+        let names: Vec<_> = RelearnStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["Best-Match", "Statistical", "Delayed", "Eager"]);
+    }
+}

@@ -1,0 +1,319 @@
+//! Extended behavior signatures — the paper's stated future work.
+//!
+//! The paper identifies behavior points by dynamic instruction count
+//! alone, noting (§3) that "other metrics such as the mix of
+//! instructions, branch history, or Basic Block Vector may also serve as
+//! good bases for constructing signatures. However, since
+//! instruction-based signatures already give a high prediction accuracy,
+//! we leave this exploration for future work."
+//!
+//! This module implements that exploration: a [`MixSignature`] extends
+//! the instruction count with the interval's load and branch counts —
+//! both observable in functional emulation, so the requirement that
+//! signatures must be obtainable without timing models still holds. A
+//! [`MixPlt`] clusters on the extended signature; the
+//! `ablation_signature` bench binary compares the cluster quality of the
+//! two signature schemes.
+
+use osprey_sim::IntervalRecord;
+use osprey_stats::Streaming;
+use serde::{Deserialize, Serialize};
+
+/// An extended behavior signature: instruction count plus instruction-mix
+/// components, all countable in emulation mode.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_core::signature::MixSignature;
+///
+/// let a = MixSignature { instructions: 10_000, loads: 2_500, branches: 1_500 };
+/// let near = MixSignature { instructions: 10_200, loads: 2_550, branches: 1_480 };
+/// let far = MixSignature { instructions: 10_200, loads: 4_000, branches: 1_480 };
+/// assert!(a.matches(&near, 0.05));
+/// assert!(!a.matches(&far, 0.05), "same length, different mix");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MixSignature {
+    /// Dynamic instruction count.
+    pub instructions: u64,
+    /// Dynamic load count.
+    pub loads: u64,
+    /// Dynamic branch count.
+    pub branches: u64,
+}
+
+impl MixSignature {
+    /// Extracts the signature from a simulated interval record.
+    pub fn from_record(record: &IntervalRecord) -> Self {
+        Self {
+            instructions: record.instructions.max(1),
+            loads: record.loads,
+            branches: record.branches,
+        }
+    }
+
+    /// Whether every component of `other` falls within ±`range` of this
+    /// signature's corresponding component (components that are zero in
+    /// both match trivially).
+    pub fn matches(&self, other: &MixSignature, range: f64) -> bool {
+        let within = |a: u64, b: u64| -> bool {
+            if a == 0 && b == 0 {
+                return true;
+            }
+            (b as f64 - a as f64).abs() <= range * (a as f64).max(1.0)
+        };
+        within(self.instructions, other.instructions)
+            && within(self.loads, other.loads)
+            && within(self.branches, other.branches)
+    }
+
+    /// Normalized Manhattan distance between signatures (sum of relative
+    /// component distances).
+    pub fn distance(&self, other: &MixSignature) -> f64 {
+        let rel = |a: u64, b: u64| -> f64 {
+            if a == 0 && b == 0 {
+                0.0
+            } else {
+                (b as f64 - a as f64).abs() / (a as f64).max(1.0)
+            }
+        };
+        rel(self.instructions, other.instructions)
+            + rel(self.loads, other.loads)
+            + rel(self.branches, other.branches)
+    }
+}
+
+/// A cluster in the extended-signature space.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixCluster {
+    centroid: MixSignature,
+    members: u64,
+    cycles: Streaming,
+}
+
+impl MixCluster {
+    fn new(sig: MixSignature, cycles: u64) -> Self {
+        let mut c = Self {
+            centroid: sig,
+            members: 0,
+            cycles: Streaming::new(),
+        };
+        c.add(sig, cycles);
+        c
+    }
+
+    fn add(&mut self, sig: MixSignature, cycles: u64) {
+        self.members += 1;
+        let blend = |c: u64, x: u64, n: u64| -> u64 {
+            (c as f64 + (x as f64 - c as f64) / n as f64).round().max(0.0) as u64
+        };
+        self.centroid = MixSignature {
+            instructions: blend(self.centroid.instructions, sig.instructions, self.members),
+            loads: blend(self.centroid.loads, sig.loads, self.members),
+            branches: blend(self.centroid.branches, sig.branches, self.members),
+        };
+        self.cycles.push(cycles as f64);
+    }
+
+    /// Cluster centroid.
+    pub fn centroid(&self) -> MixSignature {
+        self.centroid
+    }
+
+    /// Number of absorbed instances.
+    pub fn members(&self) -> u64 {
+        self.members
+    }
+
+    /// Mean cycles of the members.
+    pub fn mean_cycles(&self) -> f64 {
+        self.cycles.mean()
+    }
+
+    /// Coefficient of variation of member cycles.
+    pub fn cycles_cv(&self) -> f64 {
+        self.cycles.cv()
+    }
+}
+
+/// A Performance Lookup Table keyed by [`MixSignature`].
+///
+/// # Examples
+///
+/// ```
+/// use osprey_core::signature::{MixPlt, MixSignature};
+///
+/// let mut plt = MixPlt::new(0.05);
+/// let copyish = MixSignature { instructions: 10_000, loads: 4_200, branches: 600 };
+/// let ctrlish = MixSignature { instructions: 10_000, loads: 3_200, branches: 2_200 };
+/// plt.learn(copyish, 9_000);
+/// plt.learn(ctrlish, 30_000);
+/// // The same instruction count resolves to different clusters by mix.
+/// assert_eq!(plt.len(), 2);
+/// assert_eq!(plt.predict_cycles(&copyish), Some(9_000.0));
+/// assert_eq!(plt.predict_cycles(&ctrlish), Some(30_000.0));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MixPlt {
+    clusters: Vec<MixCluster>,
+    range: f64,
+}
+
+impl MixPlt {
+    /// Creates an empty table with the given per-component range
+    /// fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not in `(0, 1)`.
+    pub fn new(range: f64) -> Self {
+        assert!(range > 0.0 && range < 1.0, "range must be in (0, 1)");
+        Self {
+            clusters: Vec::new(),
+            range,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `true` when no cluster exists.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The clusters.
+    pub fn clusters(&self) -> &[MixCluster] {
+        &self.clusters
+    }
+
+    /// Absorbs one instance.
+    pub fn learn(&mut self, sig: MixSignature, cycles: u64) {
+        let best = self
+            .clusters
+            .iter_mut()
+            .filter(|c| c.centroid.matches(&sig, self.range))
+            .min_by(|a, b| {
+                a.centroid
+                    .distance(&sig)
+                    .partial_cmp(&b.centroid.distance(&sig))
+                    .expect("distances are finite")
+            });
+        match best {
+            Some(cluster) => cluster.add(sig, cycles),
+            None => self.clusters.push(MixCluster::new(sig, cycles)),
+        }
+    }
+
+    /// Predicts cycles for a signature, or `None` for an outlier.
+    pub fn predict_cycles(&self, sig: &MixSignature) -> Option<f64> {
+        self.clusters
+            .iter()
+            .filter(|c| c.centroid.matches(sig, self.range))
+            .min_by(|a, b| {
+                a.centroid
+                    .distance(sig)
+                    .partial_cmp(&b.centroid.distance(sig))
+                    .expect("distances are finite")
+            })
+            .map(|c| c.mean_cycles())
+    }
+
+    /// Member-weighted mean cycle CV across clusters — comparable to
+    /// [`crate::Plt::mean_cycles_cv`] for the count-only scheme.
+    pub fn mean_cycles_cv(&self) -> f64 {
+        let total: u64 = self.clusters.iter().map(|c| c.members).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.clusters
+            .iter()
+            .map(|c| c.cycles_cv() * c.members as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(i: u64, l: u64, b: u64) -> MixSignature {
+        MixSignature {
+            instructions: i,
+            loads: l,
+            branches: b,
+        }
+    }
+
+    #[test]
+    fn matching_requires_every_component() {
+        let a = sig(10_000, 2_000, 1_000);
+        assert!(a.matches(&sig(10_400, 2_080, 960), 0.05));
+        assert!(!a.matches(&sig(11_000, 2_000, 1_000), 0.05), "instructions off");
+        assert!(!a.matches(&sig(10_000, 3_000, 1_000), 0.05), "loads off");
+        assert!(!a.matches(&sig(10_000, 2_000, 1_200), 0.05), "branches off");
+    }
+
+    #[test]
+    fn zero_components_match_trivially() {
+        let a = sig(500, 0, 0);
+        assert!(a.matches(&sig(500, 0, 0), 0.05));
+    }
+
+    #[test]
+    fn distance_is_zero_iff_equal() {
+        let a = sig(10_000, 2_000, 1_000);
+        assert_eq!(a.distance(&a), 0.0);
+        assert!(a.distance(&sig(10_001, 2_000, 1_000)) > 0.0);
+    }
+
+    #[test]
+    fn mix_separates_equal_length_paths() {
+        // Two paths with identical instruction counts but different
+        // load fractions: the count-only scheme must merge them, the
+        // mix scheme must not.
+        let copy = sig(10_000, 4_000, 500);
+        let ctrl = sig(10_000, 3_000, 2_200);
+
+        let mut count_only = crate::Plt::new(0.05);
+        count_only.learn(copy.instructions, 9_000, &Default::default());
+        count_only.learn(ctrl.instructions, 30_000, &Default::default());
+        assert_eq!(count_only.len(), 1, "count-only cannot tell them apart");
+
+        let mut mix = MixPlt::new(0.05);
+        mix.learn(copy, 9_000);
+        mix.learn(ctrl, 30_000);
+        assert_eq!(mix.len(), 2);
+        // And the merged count-only cluster has far worse cycle CV.
+        assert!(count_only.mean_cycles_cv() > mix.mean_cycles_cv());
+    }
+
+    #[test]
+    fn centroid_tracks_member_mean() {
+        let mut plt = MixPlt::new(0.10);
+        plt.learn(sig(10_000, 2_000, 1_000), 100);
+        plt.learn(sig(10_400, 2_100, 1_040), 200);
+        assert_eq!(plt.len(), 1);
+        let c = plt.clusters()[0].centroid();
+        assert_eq!(c.instructions, 10_200);
+        assert_eq!(plt.clusters()[0].members(), 2);
+        assert_eq!(plt.predict_cycles(&sig(10_200, 2_050, 1_020)), Some(150.0));
+    }
+
+    #[test]
+    fn outliers_predict_nothing() {
+        let mut plt = MixPlt::new(0.05);
+        plt.learn(sig(10_000, 2_000, 1_000), 100);
+        assert_eq!(plt.predict_cycles(&sig(50_000, 2_000, 1_000)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn rejects_degenerate_range() {
+        MixPlt::new(0.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Simulation-speedup estimation (paper §6.4, Table 1 and Table 2).
+//!
+//! The paper could not switch Simics modes dynamically, so it *measured*
+//! the relative wall-clock cost of the simulation modes (Table 1) and
+//! estimated the end-to-end speedup of accelerated simulation with
+//! Eq. 9–10:
+//!
+//! ```text
+//! speedup = N / (X * (T_profile / T_full) + (N - X))
+//! ```
+//!
+//! where `N` is the total instruction count, `X` the instructions
+//! fast-forwarded during prediction periods, and `T_profile/T_full` the
+//! per-instruction cost ratio between the fast-forward mode and detailed
+//! mode. Osprey does the same with its own cores.
+
+use std::time::Instant;
+
+use osprey_sim::{CoreModel, FullSystemSim, SimConfig};
+use osprey_workloads::Benchmark;
+
+/// Wall-clock slowdown of each simulation mode relative to
+/// `inorder-nocache` — Osprey's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModeSlowdowns {
+    /// Seconds per simulated instruction in `inorder-nocache` mode.
+    pub base_secs_per_instr: f64,
+    /// `inorder-cache` slowdown (×).
+    pub inorder_cache: f64,
+    /// `ooo-nocache` slowdown (×).
+    pub ooo_nocache: f64,
+    /// `ooo-cache` slowdown (×) — the detailed full-system mode.
+    pub ooo_cache: f64,
+    /// Pure functional emulation slowdown (×, typically < 1: faster than
+    /// the in-order no-cache timing mode).
+    pub emulation: f64,
+}
+
+impl ModeSlowdowns {
+    /// The `T_profile / T_full` ratio of Eq. 10, taking
+    /// `inorder-nocache` as the fast-forward profiling mode and
+    /// `ooo-cache` as the detailed mode (as the paper does — "probably
+    /// slower than necessary").
+    pub fn profile_over_full(&self) -> f64 {
+        1.0 / self.ooo_cache
+    }
+}
+
+/// Measures per-instruction wall-clock cost of every mode by running the
+/// same workload through each core model — Osprey's version of the
+/// paper's Table 1 measurement.
+///
+/// `scale` controls the measurement workload length; 0.1–0.5 gives
+/// stable ratios in a few seconds on a laptop.
+///
+/// # Panics
+///
+/// Panics if `scale` is not strictly positive.
+pub fn measure_mode_slowdowns(benchmark: Benchmark, seed: u64, scale: f64) -> ModeSlowdowns {
+    assert!(scale > 0.0, "scale must be positive");
+    let mut secs = [0.0f64; 5];
+    let models = [
+        CoreModel::InOrderNoCache,
+        CoreModel::InOrderCache,
+        CoreModel::OooNoCache,
+        CoreModel::OooCache,
+        CoreModel::Emulation,
+    ];
+    for (i, model) in models.iter().enumerate() {
+        let cfg = SimConfig::new(benchmark)
+            .with_seed(seed)
+            .with_scale(scale)
+            .with_core(*model);
+        let started = Instant::now();
+        let report = FullSystemSim::new(cfg).run_to_completion();
+        secs[i] = started.elapsed().as_secs_f64() / report.total_instructions.max(1) as f64;
+    }
+    let base = secs[0].max(f64::MIN_POSITIVE);
+    ModeSlowdowns {
+        base_secs_per_instr: base,
+        inorder_cache: secs[1] / base,
+        ooo_nocache: secs[2] / base,
+        ooo_cache: secs[3] / base,
+        emulation: secs[4] / base,
+    }
+}
+
+/// The paper's Eq. 10: estimated end-to-end simulation speedup when `x`
+/// of the `n` total instructions are fast-forwarded and fast-forwarding
+/// costs `profile_over_full` of detailed simulation per instruction.
+///
+/// # Panics
+///
+/// Panics if `x > n` or `profile_over_full` is not in `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_core::estimated_speedup;
+///
+/// // The paper's example ratio: T_profile/T_full = 1/133. With ~89% of
+/// // instructions fast-forwarded the speedup approaches 1/0.117 ≈ 8.6.
+/// let s = estimated_speedup(1_000_000, 890_000, 1.0 / 133.0);
+/// assert!(s > 8.0 && s < 9.0);
+/// ```
+pub fn estimated_speedup(n: u64, x: u64, profile_over_full: f64) -> f64 {
+    assert!(x <= n, "fast-forwarded instructions cannot exceed total");
+    assert!(
+        profile_over_full > 0.0 && profile_over_full <= 1.0,
+        "fast-forward must not be slower than detailed simulation"
+    );
+    if n == 0 {
+        return 1.0;
+    }
+    n as f64 / (x as f64 * profile_over_full + (n - x) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq10_limits() {
+        // Nothing fast-forwarded: no speedup.
+        assert_eq!(estimated_speedup(1_000, 0, 1.0 / 133.0), 1.0);
+        // Everything fast-forwarded: the full mode ratio.
+        let s = estimated_speedup(1_000, 1_000, 1.0 / 133.0);
+        assert!((s - 133.0).abs() < 1e-9);
+        // Empty run: neutral.
+        assert_eq!(estimated_speedup(0, 0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn eq10_matches_paper_arithmetic() {
+        // Paper Table 2 sanity: with 1/133 ratio, X/N = 0.6 gives
+        // N / (0.6N/133 + 0.4N) ≈ 2.47.
+        let s = estimated_speedup(1_000_000, 600_000, 1.0 / 133.0);
+        assert!((s - 2.47).abs() < 0.02, "s = {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed total")]
+    fn eq10_rejects_x_above_n() {
+        estimated_speedup(10, 11, 0.5);
+    }
+
+    #[test]
+    fn mode_measurement_orders_modes_sensibly() {
+        let slow = measure_mode_slowdowns(Benchmark::Iperf, 1, 0.05);
+        // Detailed ooo-cache must be the most expensive mode; adding
+        // caches or out-of-order bookkeeping can never be free.
+        assert!(slow.ooo_cache >= 1.0);
+        assert!(slow.ooo_cache >= slow.inorder_cache * 0.9);
+        assert!(slow.profile_over_full() <= 1.0);
+        assert!(slow.base_secs_per_instr > 0.0);
+        assert!(slow.emulation <= 1.2, "emulation must not cost more than timing");
+    }
+}

@@ -1,0 +1,102 @@
+//! Processor configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Microarchitectural parameters shared by the timing cores.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_cpu::CpuConfig;
+///
+/// let cfg = CpuConfig::pentium4();
+/// assert_eq!(cfg.rob_size, 126);
+/// assert_eq!(cfg.retire_width, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions issued to execution per cycle.
+    pub issue_width: u32,
+    /// Instructions retired per cycle.
+    pub retire_width: u32,
+    /// Maximum in-flight instructions (reorder-buffer capacity).
+    pub rob_size: u32,
+    /// Cycles lost on a branch misprediction.
+    pub mispredict_penalty: u64,
+    /// When `false`, the core does not consult the cache hierarchy and
+    /// charges [`CpuConfig::nocache_mem_latency`] for every memory
+    /// operation — the paper's `*-nocache` Simics modes.
+    pub use_caches: bool,
+    /// Flat memory-operation latency in no-cache mode.
+    pub nocache_mem_latency: u64,
+}
+
+impl CpuConfig {
+    /// The paper's evaluation core (§5.1): 4 GHz Pentium-4-like, 4-wide
+    /// out-of-order issue, retire up to 3 x86 instructions per cycle,
+    /// 126 in-flight instructions, 10-cycle misprediction penalty.
+    pub fn pentium4() -> Self {
+        Self {
+            fetch_width: 4,
+            issue_width: 4,
+            retire_width: 3,
+            rob_size: 126,
+            mispredict_penalty: 10,
+            use_caches: true,
+            nocache_mem_latency: 2,
+        }
+    }
+
+    /// The same core without caches (`ooo-nocache` in Table 1).
+    pub fn pentium4_nocache() -> Self {
+        Self {
+            use_caches: false,
+            ..Self::pentium4()
+        }
+    }
+
+    /// Validates widths and capacities.
+    pub fn is_valid(&self) -> bool {
+        self.fetch_width > 0
+            && self.issue_width > 0
+            && self.retire_width > 0
+            && self.rob_size >= self.issue_width
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::pentium4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        assert!(CpuConfig::pentium4().is_valid());
+        assert!(CpuConfig::pentium4_nocache().is_valid());
+    }
+
+    #[test]
+    fn nocache_variant_only_flips_cache_flag() {
+        let a = CpuConfig::pentium4();
+        let b = CpuConfig::pentium4_nocache();
+        assert!(a.use_caches && !b.use_caches);
+        assert_eq!(a.rob_size, b.rob_size);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        let mut c = CpuConfig::pentium4();
+        c.fetch_width = 0;
+        assert!(!c.is_valid());
+        let mut c = CpuConfig::pentium4();
+        c.rob_size = 2;
+        assert!(!c.is_valid());
+    }
+}

@@ -1,0 +1,80 @@
+//! Retirement and event counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic event counters maintained by every timing core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Retired branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// Retired loads.
+    pub loads: u64,
+    /// Retired stores.
+    pub stores: u64,
+}
+
+impl CpuCounters {
+    /// Counter-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &CpuCounters) -> CpuCounters {
+        CpuCounters {
+            instructions: self.instructions - earlier.instructions,
+            branches: self.branches - earlier.branches,
+            mispredicts: self.mispredicts - earlier.mispredicts,
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+        }
+    }
+
+    /// Branch misprediction rate (0 when no branches retired).
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts() {
+        let a = CpuCounters {
+            instructions: 100,
+            branches: 10,
+            mispredicts: 2,
+            loads: 30,
+            stores: 12,
+        };
+        let b = CpuCounters {
+            instructions: 40,
+            branches: 4,
+            mispredicts: 1,
+            loads: 10,
+            stores: 5,
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.instructions, 60);
+        assert_eq!(d.branches, 6);
+        assert_eq!(d.mispredicts, 1);
+        assert_eq!(d.loads, 20);
+        assert_eq!(d.stores, 7);
+    }
+
+    #[test]
+    fn mispredict_rate_handles_zero() {
+        assert_eq!(CpuCounters::default().mispredict_rate(), 0.0);
+        let c = CpuCounters {
+            branches: 4,
+            mispredicts: 1,
+            ..Default::default()
+        };
+        assert_eq!(c.mispredict_rate(), 0.25);
+    }
+}

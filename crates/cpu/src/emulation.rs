@@ -1,0 +1,98 @@
+//! Functional emulation mode: count instructions, touch nothing else.
+//!
+//! This is the fast-forward mode the paper's prediction periods run in
+//! (§4.5): the instruction stream is still produced (so the OS service's
+//! *signature* — its dynamic instruction count — can be observed), but no
+//! processor or cache timing state is updated. The relative cost of this
+//! mode versus detailed simulation is what makes the acceleration
+//! profitable (Table 1's `inorder-nocache` row).
+
+use osprey_isa::{InstrClass, Instruction, Privilege};
+use osprey_mem::Hierarchy;
+
+use crate::counters::CpuCounters;
+use crate::Core;
+
+/// The emulation (instruction-counting) core.
+///
+/// [`Core::cycles`] always returns 0: emulation produces no timing.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_cpu::{Core, EmulationCore};
+/// use osprey_isa::{BlockSpec, Privilege};
+/// use osprey_mem::{Hierarchy, HierarchyConfig};
+///
+/// let mut core = EmulationCore::new();
+/// let mut mem = Hierarchy::new(HierarchyConfig::default());
+/// for instr in BlockSpec::new(0, 500).generate(1) {
+///     core.step(&instr, &mut mem, Privilege::Kernel);
+/// }
+/// assert_eq!(core.counters().instructions, 500);
+/// assert_eq!(core.cycles(), 0);
+/// assert_eq!(mem.snapshot().l1i.accesses(), 0); // caches untouched
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EmulationCore {
+    counters: CpuCounters,
+}
+
+impl EmulationCore {
+    /// Creates an emulation core.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Core for EmulationCore {
+    fn step(&mut self, instr: &Instruction, _mem: &mut Hierarchy, _owner: Privilege) {
+        self.counters.instructions += 1;
+        match instr.class {
+            InstrClass::Load => self.counters.loads += 1,
+            InstrClass::Store => self.counters.stores += 1,
+            InstrClass::Branch => self.counters.branches += 1,
+            _ => {}
+        }
+    }
+
+    fn cycles(&self) -> u64 {
+        0
+    }
+
+    fn counters(&self) -> &CpuCounters {
+        &self.counters
+    }
+
+    fn reset_pipeline(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_isa::BlockSpec;
+    use osprey_mem::HierarchyConfig;
+
+    #[test]
+    fn counts_but_produces_no_cycles() {
+        let mut core = EmulationCore::new();
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        for instr in BlockSpec::new(0, 2_000).generate(7) {
+            core.step(&instr, &mut mem, Privilege::Kernel);
+        }
+        assert_eq!(core.counters().instructions, 2_000);
+        assert_eq!(core.cycles(), 0);
+        assert!(core.counters().loads > 0);
+    }
+
+    #[test]
+    fn leaves_memory_hierarchy_untouched() {
+        let mut core = EmulationCore::new();
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        for instr in BlockSpec::new(0, 1_000).generate(1) {
+            core.step(&instr, &mut mem, Privilege::User);
+        }
+        let snap = mem.snapshot();
+        assert_eq!(snap.l1i.accesses() + snap.l1d.accesses() + snap.l2.accesses(), 0);
+    }
+}

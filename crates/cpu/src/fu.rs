@@ -1,0 +1,64 @@
+//! Functional-unit execution latencies.
+
+use osprey_isa::InstrClass;
+
+/// Execution latency in cycles for a non-memory instruction class.
+///
+/// Memory classes return the latency of the address-generation stage only;
+/// the cache access latency is added by the core from the memory
+/// hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_cpu::fu::latency;
+/// use osprey_isa::InstrClass;
+///
+/// assert_eq!(latency(InstrClass::IntAlu), 1);
+/// assert!(latency(InstrClass::FpDiv) > latency(InstrClass::FpMul));
+/// ```
+pub fn latency(class: InstrClass) -> u64 {
+    match class {
+        InstrClass::IntAlu | InstrClass::Nop => 1,
+        InstrClass::Branch => 1,
+        InstrClass::IntMul => 4,
+        InstrClass::IntDiv => 20,
+        InstrClass::FpAdd => 3,
+        InstrClass::FpMul => 5,
+        InstrClass::FpDiv => 24,
+        // Address generation for memory operations.
+        InstrClass::Load | InstrClass::Store => 1,
+        // `InstrClass` is non-exhaustive; treat future classes as
+        // single-cycle until given a real latency.
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_latencies_positive() {
+        for class in [
+            InstrClass::IntAlu,
+            InstrClass::IntMul,
+            InstrClass::IntDiv,
+            InstrClass::FpAdd,
+            InstrClass::FpMul,
+            InstrClass::FpDiv,
+            InstrClass::Load,
+            InstrClass::Store,
+            InstrClass::Branch,
+            InstrClass::Nop,
+        ] {
+            assert!(latency(class) >= 1);
+        }
+    }
+
+    #[test]
+    fn divides_are_longest() {
+        assert!(latency(InstrClass::IntDiv) > latency(InstrClass::IntMul));
+        assert!(latency(InstrClass::FpDiv) > latency(InstrClass::FpMul));
+    }
+}

@@ -1,0 +1,172 @@
+//! Blocking in-order single-issue timing model.
+//!
+//! Corresponds to Simics' `inorder` modes in the paper's Table 1: every
+//! instruction executes to completion before the next starts, so cache
+//! misses and long-latency operations stall the whole pipeline. Much
+//! simpler (and faster to simulate) than [`crate::OooCore`], and therefore
+//! the measuring stick for mode-switch speedup estimation.
+
+use osprey_isa::{InstrClass, Instruction, Privilege};
+use osprey_mem::Hierarchy;
+
+use crate::branch::GsharePredictor;
+use crate::config::CpuConfig;
+use crate::counters::CpuCounters;
+use crate::fu;
+use crate::Core;
+
+/// The in-order core (see module docs).
+#[derive(Debug, Clone)]
+pub struct InOrderCore {
+    cfg: CpuConfig,
+    bp: GsharePredictor,
+    counters: CpuCounters,
+    cycles: u64,
+    last_fetch_line: u64,
+}
+
+impl InOrderCore {
+    /// Creates a core with cold pipeline state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: CpuConfig) -> Self {
+        assert!(cfg.is_valid(), "invalid cpu config: {cfg:?}");
+        Self {
+            cfg,
+            bp: GsharePredictor::new(12),
+            counters: CpuCounters::default(),
+            cycles: 0,
+            last_fetch_line: u64::MAX,
+        }
+    }
+}
+
+impl Core for InOrderCore {
+    fn step(&mut self, instr: &Instruction, mem: &mut Hierarchy, owner: Privilege) {
+        // Fetch: stall on new-line misses.
+        let line = instr.pc >> 6;
+        if line != self.last_fetch_line {
+            self.last_fetch_line = line;
+            if self.cfg.use_caches {
+                let lat = mem.fetch(instr.pc, owner);
+                self.cycles += lat - 1;
+            }
+        }
+
+        // Execute to completion.
+        let lat = match instr.class {
+            InstrClass::Load => {
+                self.counters.loads += 1;
+                let addr = instr.mem_addr.expect("load carries an address");
+                if self.cfg.use_caches {
+                    mem.data_access(addr, false, owner)
+                } else {
+                    self.cfg.nocache_mem_latency
+                }
+            }
+            InstrClass::Store => {
+                self.counters.stores += 1;
+                let addr = instr.mem_addr.expect("store carries an address");
+                if self.cfg.use_caches {
+                    mem.data_access(addr, true, owner);
+                }
+                1
+            }
+            class => fu::latency(class),
+        };
+        self.cycles += lat;
+
+        if instr.class == InstrClass::Branch {
+            self.counters.branches += 1;
+            let info = instr.branch.expect("branch carries an outcome");
+            let predicted = self.bp.predict_and_update(instr.pc, info.taken);
+            if predicted != info.taken {
+                self.counters.mispredicts += 1;
+                self.cycles += self.cfg.mispredict_penalty;
+            }
+        }
+        self.counters.instructions += 1;
+    }
+
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    fn counters(&self) -> &CpuCounters {
+        &self.counters
+    }
+
+    fn reset_pipeline(&mut self) {
+        self.bp.reset();
+        self.last_fetch_line = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_isa::BlockSpec;
+    use osprey_mem::HierarchyConfig;
+
+    #[test]
+    fn ipc_never_exceeds_one() {
+        let mut core = InOrderCore::new(CpuConfig::pentium4());
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        for instr in BlockSpec::new(0x1000, 50_000).generate(1) {
+            core.step(&instr, &mut mem, Privilege::User);
+        }
+        let ipc = core.counters().instructions as f64 / core.cycles() as f64;
+        assert!(ipc <= 1.0, "in-order single-issue ipc = {ipc}");
+        assert!(ipc > 0.05);
+    }
+
+    #[test]
+    fn slower_than_out_of_order() {
+        use crate::OooCore;
+        let spec = BlockSpec::new(0x1000, 50_000);
+        let mut io = InOrderCore::new(CpuConfig::pentium4());
+        let mut ooo = OooCore::new(CpuConfig::pentium4());
+        let mut mem_a = Hierarchy::new(HierarchyConfig::default());
+        let mut mem_b = Hierarchy::new(HierarchyConfig::default());
+        for instr in spec.generate(2) {
+            io.step(&instr, &mut mem_a, Privilege::User);
+            ooo.step(&instr, &mut mem_b, Privilege::User);
+        }
+        assert!(
+            io.cycles() > ooo.cycles(),
+            "in-order {} should exceed ooo {}",
+            io.cycles(),
+            ooo.cycles()
+        );
+    }
+
+    #[test]
+    fn nocache_mode_skips_hierarchy() {
+        let mut core = InOrderCore::new(CpuConfig {
+            use_caches: false,
+            ..CpuConfig::pentium4()
+        });
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        for instr in BlockSpec::new(0x1000, 1_000).generate(3) {
+            core.step(&instr, &mut mem, Privilege::User);
+        }
+        assert_eq!(mem.snapshot().l1d.accesses(), 0);
+        assert!(core.cycles() >= 1_000);
+    }
+
+    #[test]
+    fn reset_pipeline_preserves_counters_and_cycles() {
+        let mut core = InOrderCore::new(CpuConfig::pentium4());
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        for instr in BlockSpec::new(0x1000, 1_000).generate(4) {
+            core.step(&instr, &mut mem, Privilege::User);
+        }
+        let cycles = core.cycles();
+        let instrs = core.counters().instructions;
+        core.reset_pipeline();
+        assert_eq!(core.cycles(), cycles);
+        assert_eq!(core.counters().instructions, instrs);
+    }
+}

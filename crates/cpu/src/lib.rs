@@ -1,0 +1,73 @@
+//! Processor timing models for the Osprey full-system simulator.
+//!
+//! Three execution models mirror the Simics configurations the paper
+//! measures in its Table 1:
+//!
+//! * [`OooCore`] — a cycle-level out-of-order superscalar model with the
+//!   paper's Pentium-4-like parameters (4-wide fetch/issue, 126 in-flight
+//!   instructions, retire up to 3 per cycle, 10-cycle branch-misprediction
+//!   penalty), used for *detailed* simulation (`ooo-cache` /
+//!   `ooo-nocache`).
+//! * [`InOrderCore`] — a blocking single-issue model (`inorder-cache` /
+//!   `inorder-nocache`).
+//! * [`EmulationCore`] — the functional fast-forward mode: instructions
+//!   are only counted, no timing or cache state is touched. This is the
+//!   mode the accelerated simulation runs OS services in during
+//!   prediction periods.
+//!
+//! All timing cores implement the [`Core`] trait so the simulator driver
+//! can switch between them.
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_cpu::{Core, CpuConfig, OooCore};
+//! use osprey_isa::{BlockSpec, Privilege};
+//! use osprey_mem::{Hierarchy, HierarchyConfig};
+//!
+//! let mut core = OooCore::new(CpuConfig::pentium4());
+//! let mut mem = Hierarchy::new(HierarchyConfig::default());
+//! for instr in BlockSpec::new(0x40_0000, 10_000).generate(1) {
+//!     core.step(&instr, &mut mem, Privilege::User);
+//! }
+//! let ipc = core.counters().instructions as f64 / core.cycles() as f64;
+//! assert!(ipc > 0.1 && ipc < 3.0, "ipc = {ipc}");
+//! ```
+
+pub mod branch;
+pub mod config;
+pub mod counters;
+pub mod emulation;
+pub mod fu;
+pub mod inorder;
+pub mod ooo;
+
+pub use branch::GsharePredictor;
+pub use config::CpuConfig;
+pub use counters::CpuCounters;
+pub use emulation::EmulationCore;
+pub use inorder::InOrderCore;
+pub use ooo::OooCore;
+
+use osprey_isa::{Instruction, Privilege};
+use osprey_mem::Hierarchy;
+
+/// A processor timing model driven one instruction at a time.
+///
+/// The simulator feeds every dynamic instruction through [`Core::step`];
+/// the core advances its internal cycle clock and updates the memory
+/// hierarchy. Per-interval cycle counts are obtained by differencing
+/// [`Core::cycles`] at interval boundaries.
+pub trait Core {
+    /// Executes one instruction.
+    fn step(&mut self, instr: &Instruction, mem: &mut Hierarchy, owner: Privilege);
+
+    /// Total simulated cycles so far.
+    fn cycles(&self) -> u64;
+
+    /// Retired-instruction and event counters.
+    fn counters(&self) -> &CpuCounters;
+
+    /// Resets pipeline state (not counters or caches), e.g. between runs.
+    fn reset_pipeline(&mut self);
+}

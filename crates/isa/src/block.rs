@@ -1,0 +1,511 @@
+//! Deterministic synthetic instruction-block generation.
+//!
+//! Workloads and OS service handlers describe code regions as
+//! [`BlockSpec`]s: an instruction budget, an instruction mix, a code
+//! footprint (which determines instruction-cache behavior), a data-access
+//! pattern (which determines data-cache behavior), and a branch
+//! predictability. [`BlockSpec::generate`] expands a spec into a concrete
+//! instruction stream, fully determined by the seed — the property that
+//! lets Osprey's emulation mode replay the exact functional path that
+//! detailed mode would have executed, as the paper's signature profiling
+//! requires.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::instr::{InstrClass, Instruction};
+
+/// Fractions of each non-ALU instruction class in a block; the remainder
+/// is [`InstrClass::IntAlu`].
+///
+/// # Examples
+///
+/// ```
+/// use osprey_isa::InstrMix;
+///
+/// let mix = InstrMix::balanced();
+/// assert!(mix.alu_fraction() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of branches.
+    pub branch: f64,
+    /// Fraction of integer multiplies.
+    pub int_mul: f64,
+    /// Fraction of integer divides.
+    pub int_div: f64,
+    /// Fraction of floating-point adds.
+    pub fp_add: f64,
+    /// Fraction of floating-point multiplies.
+    pub fp_mul: f64,
+    /// Fraction of floating-point divides.
+    pub fp_div: f64,
+}
+
+impl InstrMix {
+    /// A typical integer-code mix (~25 % loads, 10 % stores, 15 % branches).
+    pub fn balanced() -> Self {
+        Self {
+            load: 0.25,
+            store: 0.10,
+            branch: 0.15,
+            int_mul: 0.01,
+            int_div: 0.002,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// Kernel control-path mix: branch- and load-heavy, pointer chasing
+    /// through kernel data structures.
+    pub fn kernel_control() -> Self {
+        Self {
+            load: 0.32,
+            store: 0.12,
+            branch: 0.22,
+            int_mul: 0.005,
+            int_div: 0.001,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// Bulk data movement (e.g. `copy_to_user`, packet copies): dominated
+    /// by loads and stores with few branches.
+    pub fn memory_copy() -> Self {
+        Self {
+            load: 0.42,
+            store: 0.38,
+            branch: 0.06,
+            int_mul: 0.0,
+            int_div: 0.0,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// Floating-point compute kernel (SPEC fp style).
+    pub fn compute_fp() -> Self {
+        Self {
+            load: 0.22,
+            store: 0.08,
+            branch: 0.08,
+            int_mul: 0.01,
+            int_div: 0.0,
+            fp_add: 0.22,
+            fp_mul: 0.18,
+            fp_div: 0.01,
+        }
+    }
+
+    /// Integer compute kernel (SPEC int style).
+    pub fn compute_int() -> Self {
+        Self {
+            load: 0.24,
+            store: 0.10,
+            branch: 0.18,
+            int_mul: 0.03,
+            int_div: 0.004,
+            fp_add: 0.0,
+            fp_mul: 0.0,
+            fp_div: 0.0,
+        }
+    }
+
+    /// Fraction left over for plain ALU operations.
+    pub fn alu_fraction(&self) -> f64 {
+        1.0 - (self.load
+            + self.store
+            + self.branch
+            + self.int_mul
+            + self.int_div
+            + self.fp_add
+            + self.fp_mul
+            + self.fp_div)
+    }
+
+    /// `true` when the fractions are all non-negative and sum to at most 1.
+    pub fn is_valid(&self) -> bool {
+        let parts = [
+            self.load,
+            self.store,
+            self.branch,
+            self.int_mul,
+            self.int_div,
+            self.fp_add,
+            self.fp_mul,
+            self.fp_div,
+        ];
+        parts.iter().all(|&p| (0.0..=1.0).contains(&p)) && self.alu_fraction() >= -1e-9
+    }
+
+    /// Picks a class from the mix using a uniform sample in `[0, 1)`.
+    fn pick(&self, u: f64) -> InstrClass {
+        let mut acc = self.load;
+        if u < acc {
+            return InstrClass::Load;
+        }
+        acc += self.store;
+        if u < acc {
+            return InstrClass::Store;
+        }
+        acc += self.branch;
+        if u < acc {
+            return InstrClass::Branch;
+        }
+        acc += self.int_mul;
+        if u < acc {
+            return InstrClass::IntMul;
+        }
+        acc += self.int_div;
+        if u < acc {
+            return InstrClass::IntDiv;
+        }
+        acc += self.fp_add;
+        if u < acc {
+            return InstrClass::FpAdd;
+        }
+        acc += self.fp_mul;
+        if u < acc {
+            return InstrClass::FpMul;
+        }
+        acc += self.fp_div;
+        if u < acc {
+            return InstrClass::FpDiv;
+        }
+        InstrClass::IntAlu
+    }
+}
+
+/// Data-access pattern over a memory region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Walk the region with a fixed stride, wrapping at the footprint.
+    Sequential {
+        /// Stride in bytes between consecutive accesses.
+        stride: u64,
+    },
+    /// Uniformly random addresses within the footprint.
+    Random,
+}
+
+/// A data memory region plus the pattern used to access it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemPattern {
+    /// Base address of the region.
+    pub base: u64,
+    /// Region size in bytes.
+    pub footprint: u64,
+    /// How addresses are drawn from the region.
+    pub pattern: AccessPattern,
+}
+
+impl MemPattern {
+    /// Sequential walk with the given stride.
+    pub fn sequential(base: u64, footprint: u64, stride: u64) -> Self {
+        Self {
+            base,
+            footprint,
+            pattern: AccessPattern::Sequential { stride },
+        }
+    }
+
+    /// Uniformly random accesses over the region.
+    pub fn random(base: u64, footprint: u64) -> Self {
+        Self {
+            base,
+            footprint,
+            pattern: AccessPattern::Random,
+        }
+    }
+}
+
+/// Specification of a synthetic code block.
+///
+/// Construct with [`BlockSpec::new`] and customize with the `with_`
+/// builder methods; expand into instructions with [`BlockSpec::generate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// First instruction address of the block's code region.
+    pub base_pc: u64,
+    /// Number of dynamic instructions to emit.
+    pub instr_count: u64,
+    /// Bytes of distinct code the block loops through (static footprint).
+    pub code_footprint: u64,
+    /// Instruction mix.
+    pub mix: InstrMix,
+    /// Data access behavior.
+    pub mem: MemPattern,
+    /// Fraction of branches whose direction repeats a fixed pattern (and
+    /// is therefore predictable by the branch predictor).
+    pub branch_predictability: f64,
+}
+
+impl BlockSpec {
+    /// Creates a spec with `instr_count` instructions at `base_pc`, a code
+    /// footprint of 4 KiB (or smaller if the block is shorter), a balanced
+    /// mix, and a sequential 64-byte-stride walk over a 16 KiB region
+    /// placed right after the code.
+    pub fn new(base_pc: u64, instr_count: u64) -> Self {
+        let code_footprint = (instr_count * 4).clamp(64, 4096);
+        Self {
+            base_pc,
+            instr_count,
+            code_footprint,
+            mix: InstrMix::balanced(),
+            mem: MemPattern::sequential(base_pc + 0x10_0000, 16 * 1024, 64),
+            branch_predictability: 0.9,
+        }
+    }
+
+    /// Sets the instruction mix.
+    pub fn with_mix(mut self, mix: InstrMix) -> Self {
+        debug_assert!(mix.is_valid(), "instruction mix fractions exceed 1.0");
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the data access pattern.
+    pub fn with_mem(mut self, mem: MemPattern) -> Self {
+        self.mem = mem;
+        self
+    }
+
+    /// Sets the static code footprint in bytes.
+    pub fn with_code_footprint(mut self, bytes: u64) -> Self {
+        self.code_footprint = bytes.max(64);
+        self
+    }
+
+    /// Sets the fraction of predictable branches.
+    pub fn with_branch_predictability(mut self, p: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.branch_predictability = p;
+        self
+    }
+
+    /// Expands the spec into a deterministic instruction stream.
+    ///
+    /// The same `(spec, seed)` pair always yields the identical stream.
+    pub fn generate(&self, seed: u64) -> BlockGen {
+        BlockGen {
+            spec: *self,
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            pc: self.base_pc,
+            emitted: 0,
+            seq_offset: 0,
+        }
+    }
+}
+
+/// Iterator over the instructions of a [`BlockSpec`].
+///
+/// Produced by [`BlockSpec::generate`].
+#[derive(Debug, Clone)]
+pub struct BlockGen {
+    spec: BlockSpec,
+    rng: SmallRng,
+    pc: u64,
+    emitted: u64,
+    seq_offset: u64,
+}
+
+impl BlockGen {
+    /// Instructions remaining to be emitted.
+    pub fn remaining(&self) -> u64 {
+        self.spec.instr_count - self.emitted
+    }
+
+    fn next_data_addr(&mut self) -> u64 {
+        let m = &self.spec.mem;
+        let footprint = m.footprint.max(8);
+        match m.pattern {
+            AccessPattern::Sequential { stride } => {
+                let addr = m.base + self.seq_offset;
+                self.seq_offset = (self.seq_offset + stride.max(1)) % footprint;
+                addr
+            }
+            AccessPattern::Random => m.base + (self.rng.random_range(0..footprint) & !0x3),
+        }
+    }
+}
+
+impl Iterator for BlockGen {
+    type Item = Instruction;
+
+    fn next(&mut self) -> Option<Instruction> {
+        if self.emitted >= self.spec.instr_count {
+            return None;
+        }
+        self.emitted += 1;
+
+        let code_end = self.spec.base_pc + self.spec.code_footprint;
+        // At the end of the code region, loop back with an always-taken,
+        // perfectly regular branch (a loop back-edge).
+        if self.pc + 4 >= code_end {
+            let instr = Instruction::branch(self.pc, true, self.spec.base_pc);
+            self.pc = self.spec.base_pc;
+            return Some(instr);
+        }
+
+        let u: f64 = self.rng.random();
+        let class = self.spec.mix.pick(u);
+        let pc = self.pc;
+        let instr = match class {
+            InstrClass::Load => Instruction::load(pc, self.next_data_addr()),
+            InstrClass::Store => Instruction::store(pc, self.next_data_addr()),
+            InstrClass::Branch => {
+                let predictable: bool =
+                    self.rng.random::<f64>() < self.spec.branch_predictability;
+                // Predictable branches are not taken (fall through, easy to
+                // predict); unpredictable ones flip a coin and jump a short
+                // distance forward within the code region.
+                let taken = if predictable {
+                    false
+                } else {
+                    self.rng.random::<bool>()
+                };
+                let span = code_end - pc - 4;
+                let hop = 4 + (self.rng.random_range(0..4u64)) * 4;
+                let target = pc + 4 + hop.min(span.saturating_sub(4) & !0x3);
+                Instruction::branch(pc, taken, target)
+            }
+            other => Instruction::simple(pc, other),
+        };
+        self.pc = instr.next_pc();
+        Some(instr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.remaining() as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for BlockGen {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BlockSpec {
+        BlockSpec::new(0x40_0000, 5_000)
+            .with_mix(InstrMix::balanced())
+            .with_mem(MemPattern::random(0x800_0000, 32 * 1024))
+    }
+
+    #[test]
+    fn emits_exactly_instr_count() {
+        let count = spec().generate(1).count();
+        assert_eq!(count, 5_000);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<_> = spec().generate(42).collect();
+        let b: Vec<_> = spec().generate(42).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = spec().generate(1).collect();
+        let b: Vec<_> = spec().generate(2).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pcs_stay_in_code_region() {
+        let s = spec();
+        for instr in s.generate(7) {
+            assert!(instr.pc >= s.base_pc);
+            assert!(instr.pc < s.base_pc + s.code_footprint);
+        }
+    }
+
+    #[test]
+    fn data_addresses_stay_in_region() {
+        let s = spec();
+        for instr in s.generate(7) {
+            if let Some(addr) = instr.mem_addr {
+                assert!(addr >= s.mem.base);
+                assert!(addr < s.mem.base + s.mem.footprint);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let s = BlockSpec::new(0x1000, 200_000).with_mix(InstrMix::balanced());
+        let instrs: Vec<_> = s.generate(3).collect();
+        let loads = instrs.iter().filter(|i| i.class == InstrClass::Load).count();
+        let frac = loads as f64 / instrs.len() as f64;
+        assert!((frac - 0.25).abs() < 0.02, "load fraction {frac}");
+    }
+
+    #[test]
+    fn sequential_pattern_walks_with_stride() {
+        let s = BlockSpec::new(0x1000, 1000)
+            .with_mix(InstrMix {
+                load: 1.0,
+                store: 0.0,
+                branch: 0.0,
+                int_mul: 0.0,
+                int_div: 0.0,
+                fp_add: 0.0,
+                fp_mul: 0.0,
+                fp_div: 0.0,
+            })
+            .with_mem(MemPattern::sequential(0x20_0000, 1024, 64))
+            .with_code_footprint(1 << 20);
+        let addrs: Vec<u64> = s
+            .generate(5)
+            .filter_map(|i| i.mem_addr)
+            .take(16)
+            .collect();
+        assert_eq!(addrs[0], 0x20_0000);
+        assert_eq!(addrs[1], 0x20_0040);
+        // Wraps at the 1 KiB footprint.
+        assert_eq!(addrs[15], 0x20_0000 + (15 * 64));
+    }
+
+    #[test]
+    fn loop_back_edges_keep_code_footprint_bounded() {
+        let s = BlockSpec::new(0, 10_000).with_code_footprint(256);
+        let mut distinct: std::collections::HashSet<u64> = Default::default();
+        for i in s.generate(11) {
+            distinct.insert(i.pc);
+        }
+        assert!(distinct.len() <= 64, "distinct pcs = {}", distinct.len());
+    }
+
+    #[test]
+    fn presets_are_valid_mixes() {
+        for mix in [
+            InstrMix::balanced(),
+            InstrMix::kernel_control(),
+            InstrMix::memory_copy(),
+            InstrMix::compute_fp(),
+            InstrMix::compute_int(),
+        ] {
+            assert!(mix.is_valid());
+            assert!(mix.alu_fraction() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut gen = spec().generate(1);
+        assert_eq!(gen.size_hint(), (5000, Some(5000)));
+        gen.next();
+        assert_eq!(gen.size_hint(), (4999, Some(4999)));
+    }
+}

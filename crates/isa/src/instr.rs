@@ -1,0 +1,178 @@
+//! Dynamic instruction representation.
+//!
+//! Each [`Instruction`] carries only what the timing models need: a program
+//! counter, a class, an optional data-memory address, and branch outcome
+//! information. Semantic execution (register values, arithmetic results)
+//! is irrelevant to the performance study and is not modeled.
+
+use serde::{Deserialize, Serialize};
+
+/// Instruction classes with distinct timing behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InstrClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (long latency, unpipelined).
+    IntDiv,
+    /// Floating-point add/sub/compare.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide (long latency, unpipelined).
+    FpDiv,
+    /// Memory load; [`Instruction::mem_addr`] holds the effective address.
+    Load,
+    /// Memory store; [`Instruction::mem_addr`] holds the effective address.
+    Store,
+    /// Conditional or unconditional branch; [`Instruction::branch`] holds
+    /// the outcome.
+    Branch,
+    /// No-operation (also used for fences and other single-slot fillers).
+    Nop,
+}
+
+impl InstrClass {
+    /// `true` for loads and stores.
+    pub fn is_mem(self) -> bool {
+        matches!(self, InstrClass::Load | InstrClass::Store)
+    }
+
+    /// `true` for branches.
+    pub fn is_branch(self) -> bool {
+        matches!(self, InstrClass::Branch)
+    }
+}
+
+/// Branch outcome attached to [`InstrClass::Branch`] instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BranchInfo {
+    /// Whether the branch is taken.
+    pub taken: bool,
+    /// Branch target address (meaningful when taken).
+    pub target: u64,
+}
+
+/// One dynamic instruction.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_isa::{InstrClass, Instruction};
+///
+/// let ld = Instruction::load(0x40_0010, 0x800_0040);
+/// assert_eq!(ld.class, InstrClass::Load);
+/// assert_eq!(ld.mem_addr, Some(0x800_0040));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Timing class.
+    pub class: InstrClass,
+    /// Effective data address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Outcome for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl Instruction {
+    /// Creates a non-memory, non-branch instruction of the given class.
+    pub fn simple(pc: u64, class: InstrClass) -> Self {
+        debug_assert!(!class.is_mem() && !class.is_branch());
+        Self {
+            pc,
+            class,
+            mem_addr: None,
+            branch: None,
+        }
+    }
+
+    /// Creates a load from `addr`.
+    pub fn load(pc: u64, addr: u64) -> Self {
+        Self {
+            pc,
+            class: InstrClass::Load,
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// Creates a store to `addr`.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        Self {
+            pc,
+            class: InstrClass::Store,
+            mem_addr: Some(addr),
+            branch: None,
+        }
+    }
+
+    /// Creates a branch with the given outcome.
+    pub fn branch(pc: u64, taken: bool, target: u64) -> Self {
+        Self {
+            pc,
+            class: InstrClass::Branch,
+            mem_addr: None,
+            branch: Some(BranchInfo { taken, target }),
+        }
+    }
+
+    /// The address of the next sequential instruction (fixed 4-byte
+    /// encoding in the synthetic ISA).
+    pub fn fallthrough(&self) -> u64 {
+        self.pc + 4
+    }
+
+    /// The address control flow actually continues at.
+    pub fn next_pc(&self) -> u64 {
+        match self.branch {
+            Some(BranchInfo { taken: true, target }) => target,
+            _ => self.fallthrough(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let alu = Instruction::simple(0x100, InstrClass::IntAlu);
+        assert_eq!(alu.mem_addr, None);
+        assert_eq!(alu.branch, None);
+
+        let ld = Instruction::load(0x104, 0xdead);
+        assert!(ld.class.is_mem());
+        assert_eq!(ld.mem_addr, Some(0xdead));
+
+        let st = Instruction::store(0x108, 0xbeef);
+        assert_eq!(st.class, InstrClass::Store);
+
+        let br = Instruction::branch(0x10c, true, 0x100);
+        assert!(br.class.is_branch());
+        assert_eq!(br.branch.unwrap().target, 0x100);
+    }
+
+    #[test]
+    fn next_pc_follows_taken_branches() {
+        let taken = Instruction::branch(0x100, true, 0x40);
+        assert_eq!(taken.next_pc(), 0x40);
+        let not_taken = Instruction::branch(0x100, false, 0x40);
+        assert_eq!(not_taken.next_pc(), 0x104);
+        let alu = Instruction::simple(0x100, InstrClass::IntAlu);
+        assert_eq!(alu.next_pc(), 0x104);
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(InstrClass::Load.is_mem());
+        assert!(InstrClass::Store.is_mem());
+        assert!(!InstrClass::Branch.is_mem());
+        assert!(InstrClass::Branch.is_branch());
+        assert!(!InstrClass::FpMul.is_branch());
+    }
+}

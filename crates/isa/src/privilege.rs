@@ -1,0 +1,72 @@
+//! Processor privilege modes.
+//!
+//! The paper defines an *OS service interval* as the dynamic instructions
+//! between a switch to kernel mode and the return to user mode; everything
+//! in user mode counts as application code (§3). The simulator tracks the
+//! current [`Privilege`] and tags every cache access and retired
+//! instruction with it.
+
+use serde::{Deserialize, Serialize};
+
+/// The two privilege modes the interval-detection logic distinguishes.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_isa::Privilege;
+///
+/// assert!(Privilege::Kernel.is_kernel());
+/// assert!(!Privilege::User.is_kernel());
+/// assert_eq!(Privilege::default(), Privilege::User);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Privilege {
+    /// Non-privileged application mode.
+    #[default]
+    User,
+    /// Privileged kernel mode — everything inside an OS service interval.
+    Kernel,
+}
+
+impl Privilege {
+    /// Returns `true` for [`Privilege::Kernel`].
+    pub fn is_kernel(self) -> bool {
+        matches!(self, Privilege::Kernel)
+    }
+
+    /// Returns `true` for [`Privilege::User`].
+    pub fn is_user(self) -> bool {
+        matches!(self, Privilege::User)
+    }
+}
+
+impl std::fmt::Display for Privilege {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Privilege::User => f.write_str("user"),
+            Privilege::Kernel => f.write_str("kernel"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_are_exclusive() {
+        assert!(Privilege::User.is_user() && !Privilege::User.is_kernel());
+        assert!(Privilege::Kernel.is_kernel() && !Privilege::Kernel.is_user());
+    }
+
+    #[test]
+    fn default_is_user_mode() {
+        assert_eq!(Privilege::default(), Privilege::User);
+    }
+
+    #[test]
+    fn display_is_lowercase() {
+        assert_eq!(Privilege::User.to_string(), "user");
+        assert_eq!(Privilege::Kernel.to_string(), "kernel");
+    }
+}

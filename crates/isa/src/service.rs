@@ -1,0 +1,198 @@
+//! Identifiers for OS services (system calls and interrupt handlers).
+//!
+//! The paper keys its Performance Lookup Tables by the *type* of OS
+//! service: the event that initially caused the user→kernel transition
+//! (§3). Synchronous services are system calls and faults triggered by the
+//! application; asynchronous services are external interrupts. The set
+//! below covers every service named in the paper's Fig. 3 plus the
+//! services the synthetic Unix-tool and network workloads need.
+
+use serde::{Deserialize, Serialize};
+
+/// The type of an OS service, used to index Performance Lookup Tables.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_isa::ServiceId;
+///
+/// assert!(ServiceId::SysRead.is_synchronous());
+/// assert!(ServiceId::IntTimer.is_interrupt());
+/// assert_eq!(ServiceId::IntTimer.name(), "Int_239");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ServiceId {
+    /// `sys_read` — read from a file descriptor.
+    SysRead,
+    /// `sys_write` — write to a file descriptor.
+    SysWrite,
+    /// `sys_writev` — gathered write (used by the web server for responses).
+    SysWritev,
+    /// `sys_open` — open a path.
+    SysOpen,
+    /// `sys_close` — close a descriptor.
+    SysClose,
+    /// `sys_poll` — wait for descriptor readiness.
+    SysPoll,
+    /// `sys_socketcall` — multiplexed socket operations (x86 Linux style).
+    SysSocketcall,
+    /// `sys_stat64` — stat by path.
+    SysStat64,
+    /// `sys_lstat64` — stat without following symlinks (used by `du`).
+    SysLstat64,
+    /// `sys_fstat64` — stat an open descriptor.
+    SysFstat64,
+    /// `sys_fcntl64` — descriptor control.
+    SysFcntl64,
+    /// `sys_gettimeofday` — clock read.
+    SysGettimeofday,
+    /// `sys_ipc` — multiplexed System V IPC.
+    SysIpc,
+    /// `sys_getdents64` — read directory entries (used by `du`/`find`).
+    SysGetdents64,
+    /// `sys_execve` — program execution (`find -exec od`).
+    SysExecve,
+    /// `sys_brk` — heap extension.
+    SysBrk,
+    /// `sys_mmap` — memory mapping.
+    SysMmap,
+    /// Page-fault exception raised by an application access.
+    PageFault,
+    /// Network-interface interrupt (the paper's `Int_49`).
+    IntNic,
+    /// Block-device / disk-completion interrupt (the paper's `Int_121`).
+    IntDisk,
+    /// Local APIC timer interrupt (the paper's `Int_239`).
+    IntTimer,
+}
+
+impl ServiceId {
+    /// Every defined service, in a stable order.
+    pub const ALL: [ServiceId; 21] = [
+        ServiceId::SysRead,
+        ServiceId::SysWrite,
+        ServiceId::SysWritev,
+        ServiceId::SysOpen,
+        ServiceId::SysClose,
+        ServiceId::SysPoll,
+        ServiceId::SysSocketcall,
+        ServiceId::SysStat64,
+        ServiceId::SysLstat64,
+        ServiceId::SysFstat64,
+        ServiceId::SysFcntl64,
+        ServiceId::SysGettimeofday,
+        ServiceId::SysIpc,
+        ServiceId::SysGetdents64,
+        ServiceId::SysExecve,
+        ServiceId::SysBrk,
+        ServiceId::SysMmap,
+        ServiceId::PageFault,
+        ServiceId::IntNic,
+        ServiceId::IntDisk,
+        ServiceId::IntTimer,
+    ];
+
+    /// Human-readable name matching the paper's labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServiceId::SysRead => "sys_read",
+            ServiceId::SysWrite => "sys_write",
+            ServiceId::SysWritev => "sys_writev",
+            ServiceId::SysOpen => "sys_open",
+            ServiceId::SysClose => "sys_close",
+            ServiceId::SysPoll => "sys_poll",
+            ServiceId::SysSocketcall => "sys_socketcall",
+            ServiceId::SysStat64 => "sys_stat64",
+            ServiceId::SysLstat64 => "sys_lstat64",
+            ServiceId::SysFstat64 => "sys_fstat64",
+            ServiceId::SysFcntl64 => "sys_fcntl64",
+            ServiceId::SysGettimeofday => "sys_gettimeofday",
+            ServiceId::SysIpc => "sys_ipc",
+            ServiceId::SysGetdents64 => "sys_getdents64",
+            ServiceId::SysExecve => "sys_execve",
+            ServiceId::SysBrk => "sys_brk",
+            ServiceId::SysMmap => "sys_mmap",
+            ServiceId::PageFault => "page_fault",
+            ServiceId::IntNic => "Int_49",
+            ServiceId::IntDisk => "Int_121",
+            ServiceId::IntTimer => "Int_239",
+        }
+    }
+
+    /// `true` for services invoked by external events (interrupts).
+    pub fn is_interrupt(self) -> bool {
+        matches!(
+            self,
+            ServiceId::IntNic | ServiceId::IntDisk | ServiceId::IntTimer
+        )
+    }
+
+    /// `true` for services directly or indirectly invoked by the
+    /// application (system calls and faults).
+    pub fn is_synchronous(self) -> bool {
+        !self.is_interrupt()
+    }
+
+    /// A stable small integer for dense per-service arrays.
+    pub fn index(self) -> usize {
+        Self::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("every ServiceId is in ALL")
+    }
+}
+
+impl std::fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_contains_unique_entries() {
+        let set: HashSet<_> = ServiceId::ALL.iter().collect();
+        assert_eq!(set.len(), ServiceId::ALL.len());
+    }
+
+    #[test]
+    fn names_are_unique_and_nonempty() {
+        let names: HashSet<_> = ServiceId::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), ServiceId::ALL.len());
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn interrupts_match_paper_vector_numbers() {
+        assert_eq!(ServiceId::IntNic.name(), "Int_49");
+        assert_eq!(ServiceId::IntDisk.name(), "Int_121");
+        assert_eq!(ServiceId::IntTimer.name(), "Int_239");
+        for s in ServiceId::ALL {
+            assert_eq!(s.is_interrupt(), s.name().starts_with("Int_"));
+        }
+    }
+
+    #[test]
+    fn sync_and_interrupt_partition_the_space() {
+        for s in ServiceId::ALL {
+            assert_ne!(s.is_interrupt(), s.is_synchronous());
+        }
+    }
+
+    #[test]
+    fn index_round_trips() {
+        for (i, s) in ServiceId::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(ServiceId::SysRead.to_string(), "sys_read");
+    }
+}

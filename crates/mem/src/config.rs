@@ -1,0 +1,177 @@
+//! Cache and hierarchy configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of one cache.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_mem::CacheConfig;
+///
+/// let l2 = CacheConfig::l2(1024 * 1024);
+/// assert_eq!(l2.num_sets(), 1024 * 1024 / (8 * 64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size: u64,
+    /// Associativity (lines per set).
+    pub assoc: usize,
+    /// Line size in bytes (must be a power of two).
+    pub line: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 instruction cache: 16 KiB, 2-way, 64 B lines.
+    pub fn l1i() -> Self {
+        Self {
+            size: 16 * 1024,
+            assoc: 2,
+            line: 64,
+            hit_latency: 1,
+        }
+    }
+
+    /// The paper's L1 data cache: 16 KiB, 4-way, 64 B lines, 2-cycle hits.
+    pub fn l1d() -> Self {
+        Self {
+            size: 16 * 1024,
+            assoc: 4,
+            line: 64,
+            hit_latency: 2,
+        }
+    }
+
+    /// The paper's unified L2: 8-way, 64 B lines, 8-cycle hits, with a
+    /// configurable capacity (512 KiB–4 MiB across the paper's
+    /// experiments).
+    pub fn l2(size: u64) -> Self {
+        Self {
+            size,
+            assoc: 8,
+            line: 64,
+            hit_latency: 8,
+        }
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `assoc * line`).
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.assoc > 0 && self.line > 0, "degenerate geometry");
+        let set_bytes = self.assoc as u64 * self.line;
+        assert!(
+            self.size.is_multiple_of(set_bytes) && self.size >= set_bytes,
+            "cache size {} not a multiple of assoc*line {}",
+            self.size,
+            set_bytes
+        );
+        self.size / set_bytes
+    }
+
+    /// `true` when the geometry is usable (power-of-two line and set count).
+    pub fn is_valid(&self) -> bool {
+        if self.assoc == 0 || self.line == 0 || !self.line.is_power_of_two() {
+            return false;
+        }
+        let set_bytes = self.assoc as u64 * self.line;
+        if self.size == 0 || !self.size.is_multiple_of(set_bytes) {
+            return false;
+        }
+        (self.size / set_bytes).is_power_of_two()
+    }
+}
+
+/// Configuration of the whole memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Flat memory access latency in cycles behind L2 (the paper uses 300).
+    pub mem_latency: u64,
+}
+
+impl HierarchyConfig {
+    /// The paper's Pentium-4-like configuration with a chosen L2 size.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use osprey_mem::HierarchyConfig;
+    ///
+    /// let cfg = HierarchyConfig::pentium4(512 * 1024);
+    /// assert_eq!(cfg.mem_latency, 300);
+    /// ```
+    pub fn pentium4(l2_size: u64) -> Self {
+        Self {
+            l1i: CacheConfig::l1i(),
+            l1d: CacheConfig::l1d(),
+            l2: CacheConfig::l2(l2_size),
+            mem_latency: 300,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    /// The paper's default evaluation machine (1 MiB L2).
+    fn default() -> Self {
+        Self::pentium4(1024 * 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries_are_valid() {
+        assert!(CacheConfig::l1i().is_valid());
+        assert!(CacheConfig::l1d().is_valid());
+        for size in [512 * 1024, 1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024] {
+            assert!(CacheConfig::l2(size).is_valid(), "L2 size {size}");
+        }
+    }
+
+    #[test]
+    fn set_counts_match_hand_calculation() {
+        // 16 KiB / (2 * 64 B) = 128 sets.
+        assert_eq!(CacheConfig::l1i().num_sets(), 128);
+        // 16 KiB / (4 * 64 B) = 64 sets.
+        assert_eq!(CacheConfig::l1d().num_sets(), 64);
+        // 1 MiB / (8 * 64 B) = 2048 sets.
+        assert_eq!(CacheConfig::l2(1024 * 1024).num_sets(), 2048);
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        let mut c = CacheConfig::l1d();
+        c.line = 48; // not a power of two
+        assert!(!c.is_valid());
+        c = CacheConfig::l1d();
+        c.size = 10_000; // not divisible
+        assert!(!c.is_valid());
+        c = CacheConfig::l1d();
+        c.assoc = 0;
+        assert!(!c.is_valid());
+    }
+
+    #[test]
+    fn default_hierarchy_is_the_paper_machine() {
+        let cfg = HierarchyConfig::default();
+        assert_eq!(cfg.l2.size, 1024 * 1024);
+        assert_eq!(cfg.l1i.size, 16 * 1024);
+        assert_eq!(cfg.l1d.hit_latency, 2);
+        assert_eq!(cfg.l2.hit_latency, 8);
+        assert_eq!(cfg.mem_latency, 300);
+    }
+}

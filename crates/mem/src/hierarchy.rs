@@ -1,0 +1,248 @@
+//! The three-level memory hierarchy: split L1s over a unified L2 over a
+//! flat memory.
+
+use osprey_isa::Privilege;
+use rand::rngs::SmallRng;
+
+use crate::cache::Cache;
+use crate::config::HierarchyConfig;
+use crate::stats::HierarchySnapshot;
+
+/// The simulated memory system.
+///
+/// Latency composition is sequential (no overlap inside the hierarchy;
+/// memory-level parallelism is the out-of-order core's job): an L1 miss
+/// pays the L2 hit latency, and an L2 miss additionally pays the memory
+/// latency. Dirty evictions propagate as write accesses to the next level.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_isa::Privilege;
+/// use osprey_mem::{Hierarchy, HierarchyConfig};
+///
+/// let mut mem = Hierarchy::new(HierarchyConfig::default());
+/// // Cold fetch: L1I miss + L2 miss -> 1 + 8 + 300 cycles.
+/// assert_eq!(mem.fetch(0x40_0000, Privilege::User), 309);
+/// // Warm fetch: L1I hit.
+/// assert_eq!(mem.fetch(0x40_0000, Privilege::User), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+}
+
+impl Hierarchy {
+    /// Builds an empty (cold) hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self {
+            cfg,
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+        }
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Instruction fetch at `pc`; returns the access latency in cycles.
+    pub fn fetch(&mut self, pc: u64, owner: Privilege) -> u64 {
+        let l1 = self.l1i.access(pc, false, owner);
+        if l1.hit {
+            return self.cfg.l1i.hit_latency;
+        }
+        // Instruction lines are never dirty, so no L1I writeback occurs.
+        self.cfg.l1i.hit_latency + self.level2(pc, false, owner)
+    }
+
+    /// Data access at `addr`; returns the access latency in cycles.
+    pub fn data_access(&mut self, addr: u64, is_write: bool, owner: Privilege) -> u64 {
+        let l1 = self.l1d.access(addr, is_write, owner);
+        let mut latency = self.cfg.l1d.hit_latency;
+        if l1.hit {
+            return latency;
+        }
+        if let Some(wb) = l1.writeback {
+            // Victim write-back into L2; tagged with the owner that
+            // triggered the eviction. Write-backs complete off the critical
+            // path, so they add no latency here.
+            self.l2.access(wb, true, owner);
+        }
+        latency += self.level2(addr, is_write, owner);
+        latency
+    }
+
+    fn level2(&mut self, addr: u64, is_write: bool, owner: Privilege) -> u64 {
+        let l2 = self.l2.access(addr, is_write, owner);
+        if l2.hit {
+            self.cfg.l2.hit_latency
+        } else {
+            // Dirty L2 victims drain to memory off the critical path.
+            self.cfg.l2.hit_latency + self.cfg.mem_latency
+        }
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The unified L2 cache.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// A snapshot of all counters, for per-interval deltas.
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l1i: *self.l1i.stats(),
+            l1d: *self.l1d.stats(),
+            l2: *self.l2.stats(),
+        }
+    }
+
+    /// Applies predicted OS pollution to every level (paper §4.5).
+    ///
+    /// The per-level `(accesses, misses)` pairs are the *predicted*
+    /// cache activity of the skipped OS service; see [`Cache::pollute`]
+    /// for how hits and misses are replayed.
+    pub fn pollute(
+        &mut self,
+        l1i: (u64, u64),
+        l1d: (u64, u64),
+        l2: (u64, u64),
+        rng: &mut SmallRng,
+    ) {
+        self.l1i.pollute(l1i.0, l1i.1, rng);
+        self.l1d.pollute(l1d.0, l1d.1, rng);
+        self.l2.pollute(l2.0, l2.1, rng);
+    }
+
+    /// Invalidates all caches (keeps statistics).
+    pub fn flush(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn mem() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::default())
+    }
+
+    #[test]
+    fn cold_data_access_pays_full_path() {
+        let mut m = mem();
+        // L1D 2 + L2 8 + mem 300.
+        assert_eq!(m.data_access(0x1000, false, Privilege::User), 310);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut m = mem();
+        m.data_access(0x1000, false, Privilege::User);
+        // Evict 0x1000 from tiny L1D by filling its set: L1D has 64 sets,
+        // so addresses 0x1000 + k*64*64B alias to the same set.
+        let set_stride = 64 * 64;
+        for k in 1..=4u64 {
+            m.data_access(0x1000 + k * set_stride, false, Privilege::User);
+        }
+        // Now 0x1000 misses L1 but hits L2: 2 + 8.
+        assert_eq!(m.data_access(0x1000, false, Privilege::User), 10);
+    }
+
+    #[test]
+    fn fetch_uses_l1i() {
+        let mut m = mem();
+        assert_eq!(m.fetch(0x40_0000, Privilege::Kernel), 309);
+        assert_eq!(m.fetch(0x40_0000, Privilege::Kernel), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.l1i.os_accesses, 2);
+        assert_eq!(snap.l1i.os_misses, 1);
+    }
+
+    #[test]
+    fn dirty_l1_victim_reaches_l2_as_write() {
+        let mut m = mem();
+        m.data_access(0x1000, true, Privilege::User); // dirty in L1D
+        let set_stride = 64 * 64;
+        for k in 1..=4u64 {
+            m.data_access(0x1000 + k * set_stride, false, Privilege::User);
+        }
+        // The L2 line for 0x1000 must now be dirty; evicting it from L2
+        // would produce an L2 writeback. Hard to trigger cheaply, but we
+        // can at least verify the write access was recorded.
+        let snap = m.snapshot();
+        assert!(snap.l2.app_accesses >= 6, "writeback counted as L2 access");
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_interval() {
+        let mut m = mem();
+        m.data_access(0x1000, false, Privilege::User);
+        let before = m.snapshot();
+        m.data_access(0x2000, false, Privilege::Kernel);
+        m.data_access(0x2000, false, Privilege::Kernel);
+        let delta = m.snapshot().delta(&before);
+        assert_eq!(delta.l1d.os_accesses, 2);
+        assert_eq!(delta.l1d.os_misses, 1);
+        assert_eq!(delta.l1d.app_accesses, 0);
+    }
+
+    #[test]
+    fn pollute_touches_all_levels() {
+        let mut m = mem();
+        // Warm app state everywhere; the L2 (16 Ki lines) is filled
+        // completely so pollution cannot hide in invalid slots.
+        for i in 0..16_384u64 {
+            m.data_access(0x10_0000 + i * 64, false, Privilege::User);
+        }
+        for i in 0..512u64 {
+            m.fetch(0x40_0000 + i * 64, Privilege::User);
+        }
+        let app_l2_before = m.l2().owned_lines(Privilege::User);
+        let mut rng = SmallRng::seed_from_u64(9);
+        m.pollute((128, 64), (128, 64), (512, 256), &mut rng);
+        assert!(m.l2().owned_lines(Privilege::User) < app_l2_before);
+        assert!(m.l1d().owned_lines(Privilege::Kernel) > 0);
+    }
+
+    #[test]
+    fn different_l2_sizes_change_behavior() {
+        // A working set that fits in 1 MiB but not in 512 KiB L2.
+        let ws = 768 * 1024u64;
+        let mut misses = Vec::new();
+        for l2 in [512 * 1024, 1024 * 1024] {
+            let mut m = Hierarchy::new(HierarchyConfig::pentium4(l2));
+            for pass in 0..4 {
+                let _ = pass;
+                let mut a = 0;
+                while a < ws {
+                    m.data_access(0x100_0000 + a, false, Privilege::User);
+                    a += 64;
+                }
+            }
+            misses.push(m.snapshot().l2.app_misses);
+        }
+        assert!(
+            misses[0] > misses[1] * 2,
+            "512K L2 should thrash: {misses:?}"
+        );
+    }
+}

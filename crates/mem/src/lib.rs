@@ -1,0 +1,38 @@
+//! Memory-hierarchy timing model for the Osprey full-system simulator.
+//!
+//! Implements the paper's evaluation configuration (§5.1): split 16 KiB L1
+//! instruction (2-way) and data (4-way, 2-cycle) caches, a unified L2
+//! (1 MiB, 8-way, 8-cycle by default), 64-byte lines, LRU replacement,
+//! write-back with write-allocate, and a flat 300-cycle memory behind L2.
+//!
+//! Two features exist specifically for the acceleration scheme:
+//!
+//! * every line carries an **owner tag** ([`osprey_isa::Privilege`]) so
+//!   that application and OS misses can be separated, and
+//! * [`Cache::pollute`] implements the paper's §4.5 cache-pollution model —
+//!   when an OS service is *predicted* rather than simulated, its predicted
+//!   miss count is converted into evictions of application lines, selected
+//!   from uniformly random sets preferring invalid, then least-recently
+//!   used lines.
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_isa::Privilege;
+//! use osprey_mem::{Hierarchy, HierarchyConfig};
+//!
+//! let mut mem = Hierarchy::new(HierarchyConfig::pentium4(1024 * 1024));
+//! let lat_miss = mem.data_access(0x1000, false, Privilege::User);
+//! let lat_hit = mem.data_access(0x1000, false, Privilege::User);
+//! assert!(lat_miss > lat_hit);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod hierarchy;
+pub mod stats;
+
+pub use cache::{AccessOutcome, Cache};
+pub use config::{CacheConfig, HierarchyConfig};
+pub use hierarchy::Hierarchy;
+pub use stats::{CacheStats, HierarchySnapshot};

@@ -1,0 +1,174 @@
+//! Cache statistics, separated by owner (application vs OS).
+//!
+//! The acceleration scheme needs per-interval miss counts (to record in the
+//! Performance Lookup Table) and end-of-run miss rates split by privilege
+//! (Fig. 9). Counters are cheap monotonically increasing totals;
+//! per-interval deltas are taken with [`CacheStats::delta`].
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses by user-mode (application) code.
+    pub app_accesses: u64,
+    /// Misses among `app_accesses`.
+    pub app_misses: u64,
+    /// Total accesses by kernel-mode (OS) code.
+    pub os_accesses: u64,
+    /// Misses among `os_accesses`.
+    pub os_misses: u64,
+    /// Dirty lines written back to the next level.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses, both owners.
+    pub fn accesses(&self) -> u64 {
+        self.app_accesses + self.os_accesses
+    }
+
+    /// Total misses, both owners.
+    pub fn misses(&self) -> u64 {
+        self.app_misses + self.os_misses
+    }
+
+    /// Overall miss rate (0 when there were no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier
+    /// (any counter would go negative).
+    pub fn delta(&self, earlier: &CacheStats) -> CacheStats {
+        debug_assert!(
+            self.app_accesses >= earlier.app_accesses
+                && self.app_misses >= earlier.app_misses
+                && self.os_accesses >= earlier.os_accesses
+                && self.os_misses >= earlier.os_misses
+                && self.writebacks >= earlier.writebacks,
+            "delta against a later snapshot"
+        );
+        CacheStats {
+            app_accesses: self.app_accesses - earlier.app_accesses,
+            app_misses: self.app_misses - earlier.app_misses,
+            os_accesses: self.os_accesses - earlier.os_accesses,
+            os_misses: self.os_misses - earlier.os_misses,
+            writebacks: self.writebacks - earlier.writebacks,
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn add(&mut self, other: &CacheStats) {
+        self.app_accesses += other.app_accesses;
+        self.app_misses += other.app_misses;
+        self.os_accesses += other.os_accesses;
+        self.os_misses += other.os_misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
+/// A point-in-time copy of all three caches' statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchySnapshot {
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+}
+
+impl HierarchySnapshot {
+    /// Counter-wise difference `self - earlier`.
+    pub fn delta(&self, earlier: &HierarchySnapshot) -> HierarchySnapshot {
+        HierarchySnapshot {
+            l1i: self.l1i.delta(&earlier.l1i),
+            l1d: self.l1d.delta(&earlier.l1d),
+            l2: self.l2.delta(&earlier.l2),
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn add(&mut self, other: &HierarchySnapshot) {
+        self.l1i.add(&other.l1i);
+        self.l1d.add(&other.l1d);
+        self.l2.add(&other.l2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CacheStats {
+        CacheStats {
+            app_accesses: 100,
+            app_misses: 10,
+            os_accesses: 50,
+            os_misses: 20,
+            writebacks: 5,
+        }
+    }
+
+    #[test]
+    fn totals_combine_owners() {
+        let s = sample();
+        assert_eq!(s.accesses(), 150);
+        assert_eq!(s.misses(), 30);
+        assert!((s.miss_rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_miss_rate_is_zero() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let later = CacheStats {
+            app_accesses: 150,
+            app_misses: 12,
+            os_accesses: 70,
+            os_misses: 25,
+            writebacks: 9,
+        };
+        let d = later.delta(&sample());
+        assert_eq!(d.app_accesses, 50);
+        assert_eq!(d.app_misses, 2);
+        assert_eq!(d.os_accesses, 20);
+        assert_eq!(d.os_misses, 5);
+        assert_eq!(d.writebacks, 4);
+    }
+
+    #[test]
+    fn add_then_delta_round_trips() {
+        let mut a = sample();
+        let b = CacheStats {
+            app_accesses: 7,
+            app_misses: 1,
+            os_accesses: 3,
+            os_misses: 2,
+            writebacks: 0,
+        };
+        let before = a;
+        a.add(&b);
+        assert_eq!(a.delta(&before), b);
+    }
+
+    #[test]
+    fn snapshot_delta_covers_all_levels() {
+        let mut snap = HierarchySnapshot::default();
+        snap.l2.os_misses = 7;
+        let zero = HierarchySnapshot::default();
+        assert_eq!(snap.delta(&zero).l2.os_misses, 7);
+    }
+}

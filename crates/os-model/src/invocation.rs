@@ -1,0 +1,82 @@
+//! The expanded form of one OS service interval.
+
+use osprey_isa::{BlockSpec, ServiceId};
+use serde::{Deserialize, Serialize};
+
+/// One OS service interval, fully expanded into executable blocks.
+///
+/// Produced by [`crate::Kernel::handle`] (system calls / faults) and
+/// [`crate::Kernel::raise`] (interrupts). The expansion happens *before*
+/// the simulator decides whether to run the blocks through a detailed
+/// timing core or merely count them in emulation mode — which is why the
+/// dynamic instruction count (the paper's behavior signature) is
+/// observable in both modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceInvocation {
+    /// The service type, which keys the Performance Lookup Table.
+    pub service: ServiceId,
+    /// Label of the execution path the handler chose (for diagnostics and
+    /// tests; the predictor never sees this — it must rediscover paths
+    /// from instruction counts).
+    pub path: &'static str,
+    /// Kernel code blocks to execute, in order.
+    pub blocks: Vec<BlockSpec>,
+    /// Seed the blocks should be generated with.
+    pub seed: u64,
+}
+
+impl ServiceInvocation {
+    /// Total dynamic instructions across all blocks.
+    pub fn instr_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.instr_count).sum()
+    }
+
+    /// Convenience accessor mirroring [`ServiceInvocation::instr_count`]
+    /// as a field-style name used in older call sites.
+    #[doc(hidden)]
+    pub fn total_instructions(&self) -> u64 {
+        self.instr_count()
+    }
+
+    /// Iterates the concrete instructions of this invocation.
+    ///
+    /// Block `i` is generated with `seed + i` so blocks differ while the
+    /// whole invocation stays deterministic.
+    pub fn instructions(&self) -> impl Iterator<Item = osprey_isa::Instruction> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .flat_map(move |(i, b)| b.generate(self.seed.wrapping_add(i as u64)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_isa::BlockSpec;
+
+    #[test]
+    fn instr_count_sums_blocks() {
+        let inv = ServiceInvocation {
+            service: ServiceId::SysRead,
+            path: "buffer_hit",
+            blocks: vec![BlockSpec::new(0x1000, 500), BlockSpec::new(0x2000, 700)],
+            seed: 3,
+        };
+        assert_eq!(inv.instr_count(), 1200);
+        assert_eq!(inv.instructions().count(), 1200);
+    }
+
+    #[test]
+    fn instruction_stream_is_deterministic() {
+        let inv = ServiceInvocation {
+            service: ServiceId::SysPoll,
+            path: "scan",
+            blocks: vec![BlockSpec::new(0x1000, 300)],
+            seed: 9,
+        };
+        let a: Vec<_> = inv.instructions().collect();
+        let b: Vec<_> = inv.instructions().collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,871 @@
+//! The synthetic kernel: service handlers, interrupt sources, and the
+//! state that couples invocations together.
+//!
+//! Every handler picks an execution *path* from its request arguments,
+//! kernel state, and (rarely) environmental randomness, then expands that
+//! path into instruction blocks. Path instruction counts are
+//! size-dependent and jittered by ±1 %, so instances of one path form a
+//! tight signature cluster while different paths are well separated —
+//! the structure the paper observes for Linux services (§3, Fig. 4–5).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use osprey_isa::{BlockSpec, InstrMix, MemPattern, ServiceId};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::invocation::ServiceInvocation;
+use crate::layout::{self, PAGE_SIZE};
+use crate::request::ServiceRequest;
+use crate::state::{LruCache, SocketBuffer};
+
+/// Tunables of the synthetic kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Page-cache capacity in 4 KiB pages. The default (192 pages =
+    /// 768 KiB) is deliberately smaller than the web workloads' file set
+    /// so that `sys_read` keeps exercising both its hit and miss paths.
+    pub page_cache_pages: usize,
+    /// Dentry-cache capacity in entries.
+    pub dentry_capacity: usize,
+    /// Per-socket send-buffer capacity in bytes.
+    pub socket_buf_bytes: u64,
+    /// Instructions between timer interrupts (the paper's `Int_239`).
+    pub timer_period: u64,
+    /// Instruction delay until a scheduled disk completion (`Int_121`).
+    pub disk_latency_instr: u64,
+    /// Instruction delay until scheduled NIC activity (`Int_49`).
+    pub nic_delay_instr: u64,
+    /// Dirty bytes that trigger a write-back flush inside `sys_write`.
+    pub dirty_flush_bytes: u64,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        Self {
+            page_cache_pages: 192,
+            dentry_capacity: 512,
+            socket_buf_bytes: 64 * 1024,
+            timer_period: 400_000,
+            disk_latency_instr: 150_000,
+            nic_delay_instr: 60_000,
+            dirty_flush_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Entry in the pending-interrupt queue.
+type Pending = Reverse<(u64, u8)>;
+
+fn interrupt_code(id: ServiceId) -> u8 {
+    match id {
+        ServiceId::IntDisk => 0,
+        ServiceId::IntNic => 1,
+        _ => unreachable!("only disk/NIC interrupts are queued"),
+    }
+}
+
+fn interrupt_from_code(code: u8) -> ServiceId {
+    match code {
+        0 => ServiceId::IntDisk,
+        1 => ServiceId::IntNic,
+        _ => unreachable!(),
+    }
+}
+
+/// The synthetic kernel.
+///
+/// See the [crate docs](crate) for the modeling rationale and an example.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    cfg: KernelConfig,
+    page_cache: LruCache,
+    dentry_cache: LruCache,
+    exec_cache: LruCache,
+    sockets: HashMap<u64, SocketBuffer>,
+    dirty_bytes: u64,
+    pending: BinaryHeap<Pending>,
+    next_timer: u64,
+    ticks: u64,
+    pending_disk_pages: u64,
+    nic_backlog: u64,
+    sock_ring_off: u64,
+    invocations: u64,
+    rng: SmallRng,
+}
+
+impl Kernel {
+    /// Boots a kernel with default configuration and the given seed for
+    /// its environmental randomness.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(KernelConfig::default(), seed)
+    }
+
+    /// Boots a kernel with an explicit configuration.
+    pub fn with_config(cfg: KernelConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            page_cache: LruCache::new(cfg.page_cache_pages),
+            dentry_cache: LruCache::new(cfg.dentry_capacity),
+            exec_cache: LruCache::new(16),
+            sockets: HashMap::new(),
+            dirty_bytes: 0,
+            pending: BinaryHeap::new(),
+            next_timer: cfg.timer_period,
+            ticks: 0,
+            pending_disk_pages: 0,
+            nic_backlog: 0,
+            sock_ring_off: 0,
+            invocations: 0,
+            rng: SmallRng::seed_from_u64(seed ^ 0x6b65_726e_656c_3432),
+        }
+    }
+
+    /// The configuration this kernel was booted with.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Total service invocations handled (including interrupts).
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// ±1 % multiplicative jitter, modeling run-to-run variation of a
+    /// path's instruction count (lock retries, list lengths, ...). Small
+    /// enough to stay inside one ±5 % scaled cluster.
+    fn jitter(&mut self, n: u64) -> u64 {
+        let f = 1.0 + (self.rng.random::<f64>() - 0.5) * 0.02;
+        ((n as f64) * f).max(1.0) as u64
+    }
+
+    /// A control-flow-heavy kernel block for `(service, path)`.
+    fn ctrl(&self, service: ServiceId, path: u64, instrs: u64, data_span: u64) -> BlockSpec {
+        BlockSpec::new(layout::path_code_base(service, path), instrs)
+            .with_mix(InstrMix::kernel_control())
+            .with_code_footprint((instrs * 4).clamp(512, 12 * 1024))
+            .with_mem(MemPattern::random(
+                layout::service_data_base(service),
+                data_span.max(1024),
+            ))
+            .with_branch_predictability(0.85)
+    }
+
+    /// A bulk-copy block walking cached file pages.
+    fn copy(&self, service: ServiceId, path: u64, instrs: u64, src: u64, span: u64) -> BlockSpec {
+        BlockSpec::new(layout::path_code_base(service, path) + 0x8000, instrs)
+            .with_mix(InstrMix::memory_copy())
+            .with_code_footprint(768)
+            .with_mem(MemPattern::sequential(src, span.max(64), 8))
+            .with_branch_predictability(0.98)
+    }
+
+    fn finish(
+        &mut self,
+        service: ServiceId,
+        path: &'static str,
+        blocks: Vec<BlockSpec>,
+    ) -> ServiceInvocation {
+        self.invocations += 1;
+        // The block seed is a function of (service, path), not of the
+        // invocation: a kernel path is the same machine code every time
+        // it runs, so its instruction/address sequence should repeat.
+        // Per-invocation variation still enters through the jittered
+        // instruction counts and through cache/predictor state.
+        let mut seed = 0xcbf2_9ce4_8422_2325u64 ^ (service.index() as u64);
+        for b in path.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x1_0000_01b3);
+        }
+        ServiceInvocation {
+            service,
+            path,
+            blocks,
+            seed,
+        }
+    }
+
+    /// Schedules an asynchronous interrupt `delta` instructions from `now`.
+    fn schedule(&mut self, id: ServiceId, now: u64, delta: u64) {
+        self.pending.push(Reverse((now + delta, interrupt_code(id))));
+    }
+
+    /// Returns the next interrupt due at or before instruction count
+    /// `now`, if any. Timer interrupts take priority; scheduled disk/NIC
+    /// events follow. Call repeatedly until `None` to drain.
+    pub fn due_interrupt(&mut self, now: u64) -> Option<ServiceId> {
+        if now >= self.next_timer {
+            self.next_timer = now + self.cfg.timer_period;
+            return Some(ServiceId::IntTimer);
+        }
+        if let Some(&Reverse((due, code))) = self.pending.peek() {
+            if due <= now {
+                self.pending.pop();
+                return Some(interrupt_from_code(code));
+            }
+        }
+        None
+    }
+
+    /// Instruction count at which the next interrupt (timer or scheduled)
+    /// becomes due.
+    pub fn next_interrupt_at(&self) -> u64 {
+        let scheduled = self
+            .pending
+            .peek()
+            .map(|&Reverse((due, _))| due)
+            .unwrap_or(u64::MAX);
+        self.next_timer.min(scheduled)
+    }
+
+    /// Expands an interrupt service (asynchronous OS service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not an interrupt.
+    pub fn raise(&mut self, id: ServiceId, _now: u64) -> ServiceInvocation {
+        assert!(id.is_interrupt(), "raise() takes interrupts only");
+        match id {
+            ServiceId::IntTimer => {
+                self.ticks += 1;
+                if self.ticks.is_multiple_of(8) {
+                    let n = self.jitter(8_800);
+                    let b = self.ctrl(id, 1, n, 32 * 1024);
+                    self.finish(id, "rebalance", vec![b])
+                } else {
+                    let n = self.jitter(2_600);
+                    let b = self.ctrl(id, 0, n, 24 * 1024);
+                    self.finish(id, "tick", vec![b])
+                }
+            }
+            ServiceId::IntDisk => {
+                let batch = self.pending_disk_pages.min(16);
+                self.pending_disk_pages = 0;
+                let n = self.jitter(3_800 + 900 * batch);
+                let b = self.ctrl(id, 0, n, 24 * 1024);
+                self.finish(id, "disk_complete", vec![b])
+            }
+            ServiceId::IntNic => {
+                let batch = self.nic_backlog.min(24);
+                self.nic_backlog = 0;
+                let n = self.jitter(2_800 + 700 * batch);
+                let b = self.ctrl(id, 0, n, 24 * 1024);
+                self.finish(id, "nic_rx_tx", vec![b])
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Handles a synchronous service request issued at instruction count
+    /// `now`, mutating kernel state and possibly scheduling interrupts.
+    pub fn handle(&mut self, req: &ServiceRequest, now: u64) -> ServiceInvocation {
+        let id = req.id;
+        match id {
+            ServiceId::SysRead => self.sys_read(req, now),
+            ServiceId::SysWrite => self.sys_write(req, now),
+            ServiceId::SysWritev => self.sys_writev(req, now),
+            ServiceId::SysOpen => {
+                let hit = self.dentry_cache.touch(req.a);
+                if hit {
+                    let n = self.jitter(2_400);
+                    let b = self.ctrl(id, 0, n, 32 * 1024);
+                    self.finish(id, "dentry_hit", vec![b])
+                } else {
+                    let n = self.jitter(10_500);
+                    let b = self.ctrl(id, 1, n, 40 * 1024);
+                    self.finish(id, "lookup_slow", vec![b])
+                }
+            }
+            ServiceId::SysClose => {
+                let n = self.jitter(750);
+                let b = self.ctrl(id, 0, n, 8 * 1024);
+                self.finish(id, "fast", vec![b])
+            }
+            ServiceId::SysPoll => {
+                let nfds = req.a.max(1);
+                if self.rng.random::<f64>() < 0.12 {
+                    let n = self.jitter(1_400 + 260 * nfds + 3_600);
+                    let b = self.ctrl(id, 1, n, 24 * 1024);
+                    self.finish(id, "block_wait", vec![b])
+                } else {
+                    let n = self.jitter(1_400 + 260 * nfds);
+                    let b = self.ctrl(id, 0, n, 16 * 1024);
+                    self.finish(id, "scan", vec![b])
+                }
+            }
+            ServiceId::SysSocketcall => self.sys_socketcall(req, now),
+            ServiceId::SysStat64 | ServiceId::SysLstat64 => {
+                let hit = self.dentry_cache.touch(req.a);
+                if hit {
+                    let n = self.jitter(1_700);
+                    let b = self.ctrl(id, 0, n, 24 * 1024);
+                    self.finish(id, "dentry_hit", vec![b])
+                } else {
+                    let n = self.jitter(8_800);
+                    let b = self.ctrl(id, 1, n, 32 * 1024);
+                    self.finish(id, "lookup_slow", vec![b])
+                }
+            }
+            ServiceId::SysFstat64 => {
+                let n = self.jitter(850);
+                let b = self.ctrl(id, 0, n, 8 * 1024);
+                self.finish(id, "fast", vec![b])
+            }
+            ServiceId::SysFcntl64 => {
+                let n = self.jitter(600);
+                let b = self.ctrl(id, 0, n, 4 * 1024);
+                self.finish(id, "fast", vec![b])
+            }
+            ServiceId::SysGettimeofday => {
+                let n = self.jitter(420);
+                let b = self.ctrl(id, 0, n, 1024);
+                self.finish(id, "fast", vec![b])
+            }
+            ServiceId::SysIpc => {
+                if self.rng.random::<f64>() < 0.08 {
+                    let n = self.jitter(5_600);
+                    let b = self.ctrl(id, 1, n, 32 * 1024);
+                    self.finish(id, "contended", vec![b])
+                } else {
+                    let n = self.jitter(2_100);
+                    let b = self.ctrl(id, 0, n, 16 * 1024);
+                    self.finish(id, "semop", vec![b])
+                }
+            }
+            ServiceId::SysGetdents64 => {
+                let entries = req.b.max(1);
+                let hit = self.dentry_cache.touch(0x8000_0000 | req.a);
+                if hit {
+                    let n = self.jitter(1_300 + 140 * entries);
+                    let b = self.ctrl(id, 0, n, 32 * 1024);
+                    self.finish(id, "warm_dir", vec![b])
+                } else {
+                    let n = self.jitter(1_300 + 140 * entries + 7_500);
+                    let b = self.ctrl(id, 1, n, 40 * 1024);
+                    self.finish(id, "cold_dir", vec![b])
+                }
+            }
+            ServiceId::SysExecve => {
+                let hit = self.exec_cache.touch(req.a);
+                if hit {
+                    let n = self.jitter(120_000);
+                    let b = self.ctrl(id, 0, n, 96 * 1024);
+                    self.finish(id, "warm_exec", vec![b])
+                } else {
+                    self.pending_disk_pages += 8;
+                    self.schedule(ServiceId::IntDisk, now, self.cfg.disk_latency_instr);
+                    let n = self.jitter(260_000);
+                    let b = self.ctrl(id, 1, n, 160 * 1024);
+                    self.finish(id, "cold_exec", vec![b])
+                }
+            }
+            ServiceId::SysBrk => {
+                if req.size <= 64 * 1024 {
+                    let n = self.jitter(1_100);
+                    let b = self.ctrl(id, 0, n, 8 * 1024);
+                    self.finish(id, "fast", vec![b])
+                } else {
+                    let n = self.jitter(5_200);
+                    let b = self.ctrl(id, 1, n, 64 * 1024);
+                    self.finish(id, "expand", vec![b])
+                }
+            }
+            ServiceId::SysMmap => {
+                if req.size > 1024 * 1024 {
+                    let n = self.jitter(14_000);
+                    let b = self.ctrl(id, 1, n, 48 * 1024);
+                    self.finish(id, "populate", vec![b])
+                } else {
+                    let n = self.jitter(2_900);
+                    let b = self.ctrl(id, 0, n, 32 * 1024);
+                    self.finish(id, "map", vec![b])
+                }
+            }
+            ServiceId::PageFault => {
+                let key = 0x4000_0000 | (req.a >> 12);
+                let resident = self.page_cache.touch(key);
+                if resident {
+                    let n = self.jitter(2_300);
+                    let b = self.ctrl(id, 0, n, 32 * 1024);
+                    self.finish(id, "minor", vec![b])
+                } else {
+                    self.pending_disk_pages += 1;
+                    self.schedule(ServiceId::IntDisk, now, self.cfg.disk_latency_instr);
+                    let n = self.jitter(24_000);
+                    let b = self.ctrl(id, 1, n, 48 * 1024);
+                    self.finish(id, "major", vec![b])
+                }
+            }
+            ServiceId::IntNic | ServiceId::IntDisk | ServiceId::IntTimer => {
+                panic!("interrupts are raised by the kernel, not requested: {id}")
+            }
+            // `ServiceId` is non-exhaustive.
+            other => {
+                let n = self.jitter(1_000);
+                let b = self.ctrl(other, 0, n, 8 * 1024);
+                self.finish(other, "generic", vec![b])
+            }
+        }
+    }
+
+    fn sys_read(&mut self, req: &ServiceRequest, now: u64) -> ServiceInvocation {
+        let id = ServiceId::SysRead;
+        let (file, offset, size) = (req.a, req.b, req.size.max(1));
+        let first_page = offset / PAGE_SIZE;
+        let last_page = (offset + size - 1) / PAGE_SIZE;
+        let mut missing = 0u64;
+        for page in first_page..=last_page {
+            if !self.page_cache.touch(file * 1024 + page) {
+                missing += 1;
+            }
+        }
+        // copy_to_user: ~3 instructions per 8 bytes.
+        let copy_instrs = self.jitter(600 + size * 3 / 8);
+        let copy = self.copy(
+            id,
+            0,
+            copy_instrs,
+            layout::page_addr(file, first_page) + offset % PAGE_SIZE,
+            size,
+        );
+        if missing == 0 {
+            let setup = self.jitter(1_200);
+            let b = self.ctrl(id, 0, setup, 24 * 1024);
+            self.finish(id, "page_cache_hit", vec![b, copy])
+        } else {
+            self.pending_disk_pages += missing;
+            self.schedule(ServiceId::IntDisk, now, self.cfg.disk_latency_instr);
+            let setup = self.jitter(2_600 + 1_800 * missing);
+            let b = self.ctrl(id, 1, setup, 32 * 1024);
+            self.finish(id, "disk_read", vec![b, copy])
+        }
+    }
+
+    fn sys_write(&mut self, req: &ServiceRequest, now: u64) -> ServiceInvocation {
+        let id = ServiceId::SysWrite;
+        let (file, offset, size) = (req.a, req.b, req.size.max(1));
+        let first_page = offset / PAGE_SIZE;
+        let last_page = (offset + size - 1) / PAGE_SIZE;
+        for page in first_page..=last_page {
+            self.page_cache.touch(file * 1024 + page);
+        }
+        self.dirty_bytes += size;
+        let copy_instrs = self.jitter(500 + size * 3 / 8);
+        let copy = self.copy(
+            id,
+            0,
+            copy_instrs,
+            layout::page_addr(file, first_page) + offset % PAGE_SIZE,
+            size,
+        );
+        if self.dirty_bytes >= self.cfg.dirty_flush_bytes {
+            self.dirty_bytes = 0;
+            self.pending_disk_pages += 8;
+            self.schedule(ServiceId::IntDisk, now, self.cfg.disk_latency_instr);
+            let setup = self.jitter(800 + 9_000);
+            let b = self.ctrl(id, 1, setup, 40 * 1024);
+            self.finish(id, "writeback_flush", vec![b, copy])
+        } else {
+            let setup = self.jitter(800);
+            let b = self.ctrl(id, 0, setup, 24 * 1024);
+            self.finish(id, "buffered", vec![b, copy])
+        }
+    }
+
+    fn sys_writev(&mut self, req: &ServiceRequest, now: u64) -> ServiceInvocation {
+        let id = ServiceId::SysWritev;
+        let (socket, size) = (req.a, req.size.max(1));
+        let cap = self.cfg.socket_buf_bytes;
+        let (fits, drained) = {
+            let sb = self
+                .sockets
+                .entry(socket)
+                .or_insert_with(|| SocketBuffer::new(cap));
+            if sb.offer(size) {
+                (true, 0)
+            } else {
+                let drained = sb.flush();
+                sb.offer(size.min(cap));
+                (false, drained)
+            }
+        };
+        let copy_instrs = 700 + size * 3 / 8;
+        if fits {
+            let n = self.jitter(copy_instrs);
+            let copy = self.copy(id, 0, n, layout::service_data_base(id) + 0x1_0000, size);
+            let setup = self.jitter(900);
+            let b = self.ctrl(id, 0, setup, 16 * 1024);
+            self.finish(id, "buffered", vec![b, copy])
+        } else {
+            self.nic_backlog += drained / 1_500 + 1;
+            self.schedule(ServiceId::IntNic, now, self.cfg.nic_delay_instr);
+            let n = self.jitter(copy_instrs);
+            let copy = self.copy(id, 1, n, layout::service_data_base(id) + 0x1_0000, size);
+            let setup = self.jitter(900 + 5_200);
+            let b = self.ctrl(id, 1, setup, 32 * 1024);
+            self.finish(id, "tx_flush", vec![b, copy])
+        }
+    }
+
+    fn sys_socketcall(&mut self, req: &ServiceRequest, now: u64) -> ServiceInvocation {
+        let id = ServiceId::SysSocketcall;
+        let (socket, op, size) = (req.a, req.b, req.size.max(1));
+        match op {
+            // accept
+            0 => {
+                let n = self.jitter(6_800);
+                let b = self.ctrl(id, 0, n, 32 * 1024);
+                self.finish(id, "accept", vec![b])
+            }
+            // recv
+            1 => {
+                if self.nic_backlog == 0 && self.rng.random::<f64>() < 0.25 {
+                    let n = self.jitter(1_300 + size * 3 / 8 + 4_200);
+                    let b = self.ctrl(id, 2, n, 24 * 1024);
+                    self.finish(id, "recv_wait", vec![b])
+                } else {
+                    self.nic_backlog = self.nic_backlog.saturating_sub(1);
+                    let setup = self.jitter(1_300);
+                    let b = self.ctrl(id, 1, setup, 24 * 1024);
+                    let n = self.jitter(size * 3 / 8);
+                    let copy =
+                        self.copy(id, 1, n.max(64), layout::service_data_base(id) + 0x2_0000, size);
+                    self.finish(id, "recv", vec![b, copy])
+                }
+            }
+            // send (same buffering discipline as writev)
+            _ => {
+                let cap = self.cfg.socket_buf_bytes;
+                let (fits, drained) = {
+                    let sb = self
+                        .sockets
+                        .entry(socket)
+                        .or_insert_with(|| SocketBuffer::new(cap));
+                    if sb.offer(size) {
+                        (true, 0)
+                    } else {
+                        let drained = sb.flush();
+                        sb.offer(size.min(cap));
+                        (false, drained)
+                    }
+                };
+                // Payloads are staged into the NIC packet ring; the ring
+                // wraps every PACKET_RING_BYTES so sustained senders keep
+                // an L2-capacity-sized kernel working set live.
+                let ring_src = layout::PACKET_RING_BASE + self.sock_ring_off;
+                self.sock_ring_off = (self.sock_ring_off + size) % layout::PACKET_RING_BYTES;
+                let copy_instrs = self.jitter(size * 3 / 8);
+                let copy = self.copy(id, 3, copy_instrs.max(64), ring_src, size);
+                if fits {
+                    let n = self.jitter(1_100);
+                    let b = self.ctrl(id, 3, n, 24 * 1024);
+                    self.finish(id, "send_buffered", vec![b, copy])
+                } else {
+                    self.nic_backlog += drained / 1_500 + 1;
+                    self.schedule(ServiceId::IntNic, now, self.cfg.nic_delay_instr);
+                    let n = self.jitter(1_100 + 4_800);
+                    let b = self.ctrl(id, 4, n, 32 * 1024);
+                    self.finish(id, "send_flush", vec![b, copy])
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(7)
+    }
+
+    #[test]
+    fn read_miss_then_hit_paths() {
+        let mut k = kernel();
+        let cold = k.handle(&ServiceRequest::read(0, 0, 16 * 1024), 0);
+        assert_eq!(cold.path, "disk_read");
+        let warm = k.handle(&ServiceRequest::read(0, 0, 16 * 1024), 10_000);
+        assert_eq!(warm.path, "page_cache_hit");
+        assert!(warm.instr_count() < cold.instr_count());
+    }
+
+    #[test]
+    fn read_instr_count_scales_with_size() {
+        let mut k = kernel();
+        // Warm both extents first so both take the hit path.
+        k.handle(&ServiceRequest::read(1, 0, 64 * 1024), 0);
+        k.handle(&ServiceRequest::read(1, 0, 64 * 1024), 0);
+        let small = k.handle(&ServiceRequest::read(1, 0, 4 * 1024), 0);
+        let large = k.handle(&ServiceRequest::read(1, 0, 64 * 1024), 0);
+        assert_eq!(small.path, "page_cache_hit");
+        assert_eq!(large.path, "page_cache_hit");
+        assert!(large.instr_count() > small.instr_count() * 4);
+    }
+
+    #[test]
+    fn page_cache_evictions_reintroduce_misses() {
+        let cfg = KernelConfig {
+            page_cache_pages: 8,
+            ..KernelConfig::default()
+        };
+        let mut k = Kernel::with_config(cfg, 1);
+        k.handle(&ServiceRequest::read(0, 0, 8 * PAGE_SIZE), 0);
+        // Reading a second file evicts file 0's pages.
+        k.handle(&ServiceRequest::read(1, 0, 8 * PAGE_SIZE), 0);
+        let third = k.handle(&ServiceRequest::read(0, 0, 8 * PAGE_SIZE), 0);
+        assert_eq!(third.path, "disk_read");
+    }
+
+    #[test]
+    fn disk_reads_schedule_disk_interrupts() {
+        let mut k = kernel();
+        assert_eq!(k.due_interrupt(0), None);
+        k.handle(&ServiceRequest::read(0, 0, 4096), 0);
+        let due_at = k.cfg.disk_latency_instr;
+        assert_eq!(k.due_interrupt(due_at - 1), None);
+        assert_eq!(k.due_interrupt(due_at), Some(ServiceId::IntDisk));
+        assert_eq!(k.due_interrupt(due_at), None, "drained");
+    }
+
+    #[test]
+    fn timer_fires_periodically() {
+        let mut k = kernel();
+        let p = k.cfg.timer_period;
+        assert_eq!(k.due_interrupt(p - 1), None);
+        assert_eq!(k.due_interrupt(p), Some(ServiceId::IntTimer));
+        // Re-armed relative to the current instruction count.
+        assert_eq!(k.due_interrupt(p + 1), None);
+        assert_eq!(k.due_interrupt(2 * p + 1), Some(ServiceId::IntTimer));
+    }
+
+    #[test]
+    fn timer_has_two_behavior_points() {
+        let mut k = kernel();
+        let mut paths = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let inv = k.raise(ServiceId::IntTimer, 0);
+            paths.insert(inv.path);
+        }
+        assert!(paths.contains("tick"));
+        assert!(paths.contains("rebalance"));
+    }
+
+    #[test]
+    fn writev_flushes_when_socket_buffer_fills() {
+        let mut k = kernel();
+        let mut flushed = 0;
+        let mut buffered = 0;
+        for i in 0..32 {
+            let inv = k.handle(&ServiceRequest::writev(1, 12 * 1024), i * 50_000);
+            match inv.path {
+                "tx_flush" => flushed += 1,
+                "buffered" => buffered += 1,
+                other => panic!("unexpected path {other}"),
+            }
+        }
+        assert!(flushed > 0, "64 KiB buffer must overflow on 12 KiB writes");
+        assert!(buffered > flushed, "most writes fit");
+    }
+
+    #[test]
+    fn nic_flush_schedules_nic_interrupt() {
+        let mut k = kernel();
+        for i in 0..12 {
+            k.handle(&ServiceRequest::writev(1, 12 * 1024), i * 1_000);
+        }
+        let due = k.next_interrupt_at();
+        assert!(due < u64::MAX);
+        let int = k.due_interrupt(due);
+        assert!(matches!(int, Some(ServiceId::IntNic) | Some(ServiceId::IntTimer)));
+    }
+
+    #[test]
+    fn dentry_cache_separates_open_paths() {
+        let mut k = kernel();
+        let cold = k.handle(&ServiceRequest::open(42), 0);
+        let warm = k.handle(&ServiceRequest::open(42), 0);
+        assert_eq!(cold.path, "lookup_slow");
+        assert_eq!(warm.path, "dentry_hit");
+        assert!(cold.instr_count() > warm.instr_count() * 2);
+    }
+
+    #[test]
+    fn execve_warm_vs_cold() {
+        let mut k = kernel();
+        let cold = k.handle(&ServiceRequest::execve(3), 0);
+        let warm = k.handle(&ServiceRequest::execve(3), 0);
+        assert_eq!(cold.path, "cold_exec");
+        assert_eq!(warm.path, "warm_exec");
+        assert!(cold.instr_count() > 200_000);
+        assert!(warm.instr_count() > 100_000);
+    }
+
+    #[test]
+    fn write_flush_path_after_enough_dirty_bytes() {
+        let mut k = kernel();
+        let mut saw_flush = false;
+        for i in 0..8 {
+            let inv = k.handle(&ServiceRequest::write(2, i * 65_536, 64 * 1024), 0);
+            if inv.path == "writeback_flush" {
+                saw_flush = true;
+            }
+        }
+        assert!(saw_flush, "256 KiB dirty threshold must trigger");
+    }
+
+    #[test]
+    fn jitter_keeps_paths_within_cluster_range() {
+        let mut k = kernel();
+        // Warm the dentry.
+        k.handle(&ServiceRequest::open(9), 0);
+        let counts: Vec<u64> = (0..50)
+            .map(|_| k.handle(&ServiceRequest::open(9), 0).instr_count())
+            .collect();
+        let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
+        for &c in &counts {
+            let dev = ((c as f64 - mean) / mean).abs();
+            assert!(dev < 0.05, "jitter must stay within ±5%: {dev}");
+        }
+    }
+
+    #[test]
+    fn service_invocation_counts_are_in_paper_range() {
+        // Paper Fig. 3: a few thousand to a few tens of thousands of
+        // instructions per OS service.
+        let mut k = kernel();
+        let inv = k.handle(&ServiceRequest::read(0, 0, 64 * 1024), 0);
+        assert!(
+            (10_000..120_000).contains(&inv.instr_count()),
+            "64 KiB read = {}",
+            inv.instr_count()
+        );
+        let tod = k.handle(&ServiceRequest::gettimeofday(), 0);
+        assert!((300..700).contains(&tod.instr_count()));
+    }
+
+    #[test]
+    #[should_panic(expected = "interrupts are raised")]
+    fn handle_rejects_interrupt_requests() {
+        let mut k = kernel();
+        let bogus = ServiceRequest {
+            id: ServiceId::IntTimer,
+            a: 0,
+            b: 0,
+            size: 0,
+        };
+        k.handle(&bogus, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interrupts only")]
+    fn raise_rejects_syscalls() {
+        let mut k = kernel();
+        k.raise(ServiceId::SysRead, 0);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_histories() {
+        let mut a = Kernel::new(5);
+        let mut b = Kernel::new(5);
+        for i in 0..50 {
+            let req = ServiceRequest::read(i % 3, (i * 4096) % 65_536, 8 * 1024);
+            let x = a.handle(&req, i * 10_000);
+            let y = b.handle(&req, i * 10_000);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn page_fault_minor_vs_major() {
+        let mut k = kernel();
+        let cold = k.handle(&ServiceRequest::page_fault(0x1234_5000), 0);
+        assert_eq!(cold.path, "major");
+        let warm = k.handle(&ServiceRequest::page_fault(0x1234_5008), 0);
+        assert_eq!(warm.path, "minor", "same page is now resident");
+        assert!(cold.instr_count() > warm.instr_count() * 5);
+    }
+
+    #[test]
+    fn brk_and_mmap_paths_split_on_size() {
+        let mut k = kernel();
+        assert_eq!(k.handle(&ServiceRequest::brk(4 * 1024), 0).path, "fast");
+        assert_eq!(k.handle(&ServiceRequest::brk(1024 * 1024), 0).path, "expand");
+        assert_eq!(k.handle(&ServiceRequest::mmap(64 * 1024), 0).path, "map");
+        assert_eq!(
+            k.handle(&ServiceRequest::mmap(4 * 1024 * 1024), 0).path,
+            "populate"
+        );
+    }
+
+    #[test]
+    fn disk_completion_batches_are_capped() {
+        let mut k = kernel();
+        // Queue far more pending pages than one completion can retire.
+        for i in 0..40 {
+            k.handle(&ServiceRequest::read(i, 0, 4096), 0);
+        }
+        let inv = k.raise(ServiceId::IntDisk, 0);
+        // 3_800 + 900 * min(pending, 16), plus <=1% jitter.
+        assert!(inv.instr_count() <= (3_800 + 900 * 16) * 101 / 100);
+    }
+
+    #[test]
+    fn next_interrupt_reports_earliest_event() {
+        let mut k = kernel();
+        let timer_due = k.next_interrupt_at();
+        assert_eq!(timer_due, k.cfg.timer_period);
+        // A disk read scheduled now is due before the first timer tick.
+        k.handle(&ServiceRequest::read(0, 0, 4096), 0);
+        assert_eq!(k.next_interrupt_at(), k.cfg.disk_latency_instr);
+        assert!(k.next_interrupt_at() < timer_due);
+    }
+
+    #[test]
+    fn getdents_scales_with_entry_count() {
+        let mut k = kernel();
+        // Warm the directory dentries first.
+        k.handle(&ServiceRequest::getdents(7, 1), 0);
+        let small = k.handle(&ServiceRequest::getdents(7, 2), 0);
+        let large = k.handle(&ServiceRequest::getdents(7, 40), 0);
+        assert_eq!(small.path, "warm_dir");
+        assert_eq!(large.path, "warm_dir");
+        assert!(large.instr_count() > small.instr_count() + 4_000);
+    }
+
+    #[test]
+    fn socketcall_ops_select_distinct_paths() {
+        let mut k = kernel();
+        assert_eq!(k.handle(&ServiceRequest::socketcall(1, 0, 0), 0).path, "accept");
+        let recv = k.handle(&ServiceRequest::socketcall(1, 1, 4096), 0);
+        assert!(recv.path == "recv" || recv.path == "recv_wait");
+        let send = k.handle(&ServiceRequest::socketcall(1, 2, 4096), 0);
+        assert!(send.path == "send_buffered" || send.path == "send_flush");
+    }
+
+    #[test]
+    fn invocation_count_increments_per_service() {
+        let mut k = kernel();
+        assert_eq!(k.invocations(), 0);
+        k.handle(&ServiceRequest::gettimeofday(), 0);
+        k.handle(&ServiceRequest::close(1), 0);
+        k.raise(ServiceId::IntTimer, 0);
+        assert_eq!(k.invocations(), 3);
+    }
+
+    #[test]
+    fn send_ring_wraps_within_the_packet_ring() {
+        use crate::layout::{PACKET_RING_BASE, PACKET_RING_BYTES};
+        let mut k = kernel();
+        for i in 0..200u64 {
+            let inv = k.handle(&ServiceRequest::socketcall(3, 2, 8 * 1024), i * 1_000);
+            for block in &inv.blocks {
+                if block.mix == osprey_isa::InstrMix::memory_copy() {
+                    assert!(block.mem.base >= PACKET_RING_BASE);
+                    assert!(block.mem.base < PACKET_RING_BASE + PACKET_RING_BYTES);
+                }
+            }
+        }
+    }
+}

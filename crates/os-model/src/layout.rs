@@ -1,0 +1,111 @@
+//! Synthetic kernel address-space layout.
+//!
+//! Kernel code and data live above `0xC000_0000` (the classic 32-bit Linux
+//! split), separated from application regions so that cache contention
+//! between OS and application working sets is real and measurable.
+
+use osprey_isa::ServiceId;
+
+/// Base of kernel code. Each service gets its own code window; each path
+/// within a service gets a sub-window, so different paths have different
+/// instruction-cache footprints.
+pub const KERNEL_CODE_BASE: u64 = 0xC000_0000;
+
+/// Bytes of code window per service.
+pub const SERVICE_CODE_SPAN: u64 = 0x10_0000;
+
+/// Bytes of code window per path within a service.
+pub const PATH_CODE_SPAN: u64 = 0x1_0000;
+
+/// Base of the page/buffer cache data region.
+pub const BUFFER_CACHE_BASE: u64 = 0xD000_0000;
+
+/// Size of one buffer-cache page.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Base of per-service kernel data structures (run queues, dentry hash
+/// tables, socket structures, ...).
+pub const KERNEL_DATA_BASE: u64 = 0xE000_0000;
+
+/// Base of the NIC packet-buffer ring used by socket sends.
+pub const PACKET_RING_BASE: u64 = 0xF000_0000;
+
+/// Size of the packet ring. Deliberately sized between the paper's 512 KiB
+/// and 1 MiB L2 configurations so network-heavy workloads (iperf) are
+/// sensitive to L2 capacity, as in the paper's Fig. 2.
+pub const PACKET_RING_BYTES: u64 = 640 * 1024;
+
+/// Bytes of kernel data per service.
+pub const SERVICE_DATA_SPAN: u64 = 0x8_0000;
+
+/// Code window origin for a `(service, path)` pair.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_isa::ServiceId;
+/// use osprey_os::layout::path_code_base;
+///
+/// let a = path_code_base(ServiceId::SysRead, 0);
+/// let b = path_code_base(ServiceId::SysRead, 1);
+/// let c = path_code_base(ServiceId::SysWrite, 0);
+/// assert_ne!(a, b);
+/// assert_ne!(a, c);
+/// ```
+pub fn path_code_base(service: ServiceId, path: u64) -> u64 {
+    KERNEL_CODE_BASE + service.index() as u64 * SERVICE_CODE_SPAN + path * PATH_CODE_SPAN
+}
+
+/// Kernel data region for a service's own structures.
+pub fn service_data_base(service: ServiceId) -> u64 {
+    KERNEL_DATA_BASE + service.index() as u64 * SERVICE_DATA_SPAN
+}
+
+/// Address of a cached file page in the synthetic page cache.
+///
+/// Pages of the same file are contiguous, so sequential reads of a file
+/// walk memory sequentially — exactly what a real buffer cache copy loop
+/// sees.
+pub fn page_addr(file: u64, page: u64) -> u64 {
+    // Up to 1024 pages (4 MiB) per file keeps files disjoint.
+    BUFFER_CACHE_BASE + (file * 1024 + page) * PAGE_SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_code_windows_do_not_overlap() {
+        let mut bases: Vec<u64> = ServiceId::ALL
+            .iter()
+            .map(|&s| path_code_base(s, 0))
+            .collect();
+        bases.sort_unstable();
+        for pair in bases.windows(2) {
+            assert!(pair[1] - pair[0] >= SERVICE_CODE_SPAN);
+        }
+    }
+
+    #[test]
+    fn paths_fit_inside_service_window() {
+        // 16 paths per service at most.
+        let highest = path_code_base(ServiceId::SysRead, 15);
+        assert!(highest + PATH_CODE_SPAN <= path_code_base(ServiceId::SysWrite, 0));
+    }
+
+    #[test]
+    fn pages_of_different_files_are_disjoint() {
+        assert!(page_addr(1, 0) >= page_addr(0, 1023) + PAGE_SIZE);
+    }
+
+    #[test]
+    fn kernel_regions_do_not_collide() {
+        let code_end =
+            KERNEL_CODE_BASE + ServiceId::ALL.len() as u64 * SERVICE_CODE_SPAN;
+        assert!(code_end <= BUFFER_CACHE_BASE);
+        let data_start = KERNEL_DATA_BASE;
+        let pages_end = page_addr(64, 0);
+        assert!(pages_end <= data_start, "64 files fit below kernel data");
+    }
+}

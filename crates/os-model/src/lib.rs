@@ -1,0 +1,50 @@
+//! Synthetic operating-system model for the Osprey full-system simulator.
+//!
+//! The paper runs Linux 2.6.13 under Simics; Osprey substitutes a
+//! *synthetic kernel* that preserves the structural properties the
+//! acceleration scheme depends on (paper §3):
+//!
+//! * each OS service has **multiple execution paths** — a fast path, slow
+//!   paths, and rare paths — selected by the parameters the application
+//!   passes, by **kernel state** accumulated across invocations (buffer
+//!   cache, dentry cache, socket buffers), and by environmental factors;
+//! * each path executes a characteristic number of instructions with a
+//!   characteristic memory/branch behavior, so a path manifests as a
+//!   *behavior point* identifiable by its dynamic instruction count;
+//! * occurrence patterns are application-driven and irregular.
+//!
+//! The kernel expands every [`ServiceRequest`] into a
+//! [`ServiceInvocation`] — a list of [`osprey_isa::BlockSpec`]s — *before*
+//! execution, so the functional path (and hence the signature) is
+//! identical whether the simulator then runs the blocks through a detailed
+//! timing core or a fast emulation core. Handlers may also schedule
+//! asynchronous interrupts (disk completions, NIC activity), and a
+//! periodic timer fires [`osprey_isa::ServiceId::IntTimer`] — the paper's
+//! `Int_239`.
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_isa::ServiceId;
+//! use osprey_os::{Kernel, ServiceRequest};
+//!
+//! let mut kernel = Kernel::new(42);
+//! let inv = kernel.handle(&ServiceRequest::read(0, 0, 16 * 1024), 0);
+//! assert_eq!(inv.service, ServiceId::SysRead);
+//! assert!(inv.instr_count() > 1_000);
+//! // Re-reading the same pages now hits the buffer cache: a different,
+//! // cheaper path.
+//! let again = kernel.handle(&ServiceRequest::read(0, 0, 16 * 1024), 0);
+//! assert!(again.instr_count() < inv.instr_count());
+//! ```
+
+pub mod invocation;
+pub mod kernel;
+pub mod layout;
+pub mod request;
+pub mod state;
+
+pub use invocation::ServiceInvocation;
+pub use kernel::{Kernel, KernelConfig};
+pub use request::ServiceRequest;
+pub use state::{LruCache, SocketBuffer};

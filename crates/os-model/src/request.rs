@@ -1,0 +1,250 @@
+//! Application-side requests for OS services.
+
+use osprey_isa::ServiceId;
+use serde::{Deserialize, Serialize};
+
+/// A system-call request as issued by a workload.
+///
+/// The argument meaning depends on the service; the named constructors
+/// document the convention. Asynchronous services (interrupts) are not
+/// requested by applications — the kernel raises them itself.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_isa::ServiceId;
+/// use osprey_os::ServiceRequest;
+///
+/// let req = ServiceRequest::read(3, 8192, 65536);
+/// assert_eq!(req.id, ServiceId::SysRead);
+/// assert_eq!(req.size, 65536);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceRequest {
+    /// The service being invoked.
+    pub id: ServiceId,
+    /// Primary argument: file id, path id, socket id, directory id, or
+    /// descriptor count, depending on the service.
+    pub a: u64,
+    /// Secondary argument: byte offset for I/O, operation code for
+    /// multiplexed calls.
+    pub b: u64,
+    /// Transfer size in bytes where meaningful.
+    pub size: u64,
+}
+
+impl ServiceRequest {
+    /// `sys_read(file, offset, size)`.
+    pub fn read(file: u64, offset: u64, size: u64) -> Self {
+        Self {
+            id: ServiceId::SysRead,
+            a: file,
+            b: offset,
+            size,
+        }
+    }
+
+    /// `sys_write(file, offset, size)`.
+    pub fn write(file: u64, offset: u64, size: u64) -> Self {
+        Self {
+            id: ServiceId::SysWrite,
+            a: file,
+            b: offset,
+            size,
+        }
+    }
+
+    /// `sys_writev(socket, size)` — gathered socket write.
+    pub fn writev(socket: u64, size: u64) -> Self {
+        Self {
+            id: ServiceId::SysWritev,
+            a: socket,
+            b: 0,
+            size,
+        }
+    }
+
+    /// `sys_open(path_id)`.
+    pub fn open(path_id: u64) -> Self {
+        Self {
+            id: ServiceId::SysOpen,
+            a: path_id,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_close(fd)`.
+    pub fn close(fd: u64) -> Self {
+        Self {
+            id: ServiceId::SysClose,
+            a: fd,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_poll(nfds)`.
+    pub fn poll(nfds: u64) -> Self {
+        Self {
+            id: ServiceId::SysPoll,
+            a: nfds,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_socketcall(socket, op, size)` — `op` 0 = accept, 1 = recv,
+    /// 2 = send.
+    pub fn socketcall(socket: u64, op: u64, size: u64) -> Self {
+        Self {
+            id: ServiceId::SysSocketcall,
+            a: socket,
+            b: op,
+            size,
+        }
+    }
+
+    /// `sys_stat64(path_id)`.
+    pub fn stat(path_id: u64) -> Self {
+        Self {
+            id: ServiceId::SysStat64,
+            a: path_id,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_lstat64(path_id)`.
+    pub fn lstat(path_id: u64) -> Self {
+        Self {
+            id: ServiceId::SysLstat64,
+            a: path_id,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_fstat64(fd)`.
+    pub fn fstat(fd: u64) -> Self {
+        Self {
+            id: ServiceId::SysFstat64,
+            a: fd,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_fcntl64(fd, cmd)`.
+    pub fn fcntl(fd: u64, cmd: u64) -> Self {
+        Self {
+            id: ServiceId::SysFcntl64,
+            a: fd,
+            b: cmd,
+            size: 0,
+        }
+    }
+
+    /// `sys_gettimeofday()`.
+    pub fn gettimeofday() -> Self {
+        Self {
+            id: ServiceId::SysGettimeofday,
+            a: 0,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_ipc(key, op)`.
+    pub fn ipc(key: u64, op: u64) -> Self {
+        Self {
+            id: ServiceId::SysIpc,
+            a: key,
+            b: op,
+            size: 0,
+        }
+    }
+
+    /// `sys_getdents64(dir_id, entries)`.
+    pub fn getdents(dir_id: u64, entries: u64) -> Self {
+        Self {
+            id: ServiceId::SysGetdents64,
+            a: dir_id,
+            b: entries,
+            size: 0,
+        }
+    }
+
+    /// `sys_execve(binary_id)`.
+    pub fn execve(binary_id: u64) -> Self {
+        Self {
+            id: ServiceId::SysExecve,
+            a: binary_id,
+            b: 0,
+            size: 0,
+        }
+    }
+
+    /// `sys_brk(bytes)`.
+    pub fn brk(bytes: u64) -> Self {
+        Self {
+            id: ServiceId::SysBrk,
+            a: 0,
+            b: 0,
+            size: bytes,
+        }
+    }
+
+    /// `sys_mmap(bytes)`.
+    pub fn mmap(bytes: u64) -> Self {
+        Self {
+            id: ServiceId::SysMmap,
+            a: 0,
+            b: 0,
+            size: bytes,
+        }
+    }
+
+    /// A page fault at application address `addr`.
+    pub fn page_fault(addr: u64) -> Self {
+        Self {
+            id: ServiceId::PageFault,
+            a: addr,
+            b: 0,
+            size: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_service_ids() {
+        assert_eq!(ServiceRequest::read(0, 0, 1).id, ServiceId::SysRead);
+        assert_eq!(ServiceRequest::write(0, 0, 1).id, ServiceId::SysWrite);
+        assert_eq!(ServiceRequest::writev(0, 1).id, ServiceId::SysWritev);
+        assert_eq!(ServiceRequest::open(0).id, ServiceId::SysOpen);
+        assert_eq!(ServiceRequest::close(0).id, ServiceId::SysClose);
+        assert_eq!(ServiceRequest::poll(1).id, ServiceId::SysPoll);
+        assert_eq!(ServiceRequest::socketcall(0, 0, 0).id, ServiceId::SysSocketcall);
+        assert_eq!(ServiceRequest::stat(0).id, ServiceId::SysStat64);
+        assert_eq!(ServiceRequest::lstat(0).id, ServiceId::SysLstat64);
+        assert_eq!(ServiceRequest::fstat(0).id, ServiceId::SysFstat64);
+        assert_eq!(ServiceRequest::fcntl(0, 0).id, ServiceId::SysFcntl64);
+        assert_eq!(ServiceRequest::gettimeofday().id, ServiceId::SysGettimeofday);
+        assert_eq!(ServiceRequest::ipc(0, 0).id, ServiceId::SysIpc);
+        assert_eq!(ServiceRequest::getdents(0, 4).id, ServiceId::SysGetdents64);
+        assert_eq!(ServiceRequest::execve(0).id, ServiceId::SysExecve);
+        assert_eq!(ServiceRequest::brk(4096).id, ServiceId::SysBrk);
+        assert_eq!(ServiceRequest::mmap(4096).id, ServiceId::SysMmap);
+        assert_eq!(ServiceRequest::page_fault(0x1000).id, ServiceId::PageFault);
+    }
+
+    #[test]
+    fn arguments_are_carried_through() {
+        let r = ServiceRequest::socketcall(7, 2, 8192);
+        assert_eq!((r.a, r.b, r.size), (7, 2, 8192));
+    }
+}

@@ -1,0 +1,226 @@
+//! Stateful kernel subsystems.
+//!
+//! These are what make OS-service behavior *history dependent*: whether
+//! `sys_read` takes its buffer-hit or disk path depends on what earlier
+//! invocations left in the page cache, whether `sys_open` is cheap depends
+//! on the dentry cache, and whether a socket write flushes depends on how
+//! full the socket buffer is (paper §3: "the behavior of an OS service is
+//! not only determined by the parameters passed by the application, but
+//! also by the state of the service handler itself and by the
+//! environment").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A capacity-bounded LRU cache over `u64` keys — the shape of the
+/// synthetic page cache and dentry cache.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_os::LruCache;
+///
+/// let mut c = LruCache::new(2);
+/// assert!(!c.touch(1)); // miss, inserted
+/// assert!(!c.touch(2));
+/// assert!(c.touch(1));  // hit
+/// c.touch(3);           // evicts 2 (the LRU key)
+/// assert!(!c.contains(2));
+/// assert!(c.contains(1));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LruCache {
+    capacity: usize,
+    /// key -> last-use stamp.
+    entries: HashMap<u64, u64>,
+    clock: u64,
+}
+
+impl LruCache {
+    /// Creates a cache holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+        }
+    }
+
+    /// Looks up `key`, inserting it if absent; returns whether it was
+    /// already present (a hit). Inserting into a full cache evicts the
+    /// least-recently used key.
+    pub fn touch(&mut self, key: u64) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(stamp) = self.entries.get_mut(&key) {
+            *stamp = clock;
+            return true;
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some((&lru, _)) = self.entries.iter().min_by_key(|(_, &stamp)| stamp) {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(key, clock);
+        false
+    }
+
+    /// Whether `key` is resident (no LRU update).
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Current number of resident keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// A bounded socket send buffer.
+///
+/// Writes accumulate until the buffer cannot accept the next payload, at
+/// which point the kernel takes the flush path (and raises NIC activity).
+///
+/// # Examples
+///
+/// ```
+/// use osprey_os::SocketBuffer;
+///
+/// let mut sb = SocketBuffer::new(16 * 1024);
+/// assert!(sb.offer(8 * 1024));   // buffered
+/// assert!(!sb.offer(12 * 1024)); // would overflow: flush needed
+/// sb.flush();
+/// assert!(sb.offer(12 * 1024));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SocketBuffer {
+    capacity: u64,
+    used: u64,
+}
+
+impl SocketBuffer {
+    /// Creates a buffer with the given capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { capacity, used: 0 }
+    }
+
+    /// Tries to buffer `bytes`; returns `false` when the write does not
+    /// fit (the caller must flush first).
+    pub fn offer(&mut self, bytes: u64) -> bool {
+        if self.used + bytes <= self.capacity {
+            self.used += bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Empties the buffer, returning how many bytes were drained.
+    pub fn flush(&mut self) -> u64 {
+        std::mem::take(&mut self.used)
+    }
+
+    /// Bytes currently buffered.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Buffer capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_hits_and_misses() {
+        let mut c = LruCache::new(3);
+        assert!(!c.touch(10));
+        assert!(c.touch(10));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = LruCache::new(2);
+        c.touch(1);
+        c.touch(2);
+        c.touch(1); // 2 is now LRU
+        c.touch(3);
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity() {
+        let mut c = LruCache::new(5);
+        for k in 0..100 {
+            c.touch(k);
+            assert!(c.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn lru_clear_empties() {
+        let mut c = LruCache::new(2);
+        c.touch(1);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn lru_rejects_zero_capacity() {
+        LruCache::new(0);
+    }
+
+    #[test]
+    fn socket_buffer_accumulates_until_full() {
+        let mut sb = SocketBuffer::new(10);
+        assert!(sb.offer(4));
+        assert!(sb.offer(6));
+        assert_eq!(sb.used(), 10);
+        assert!(!sb.offer(1));
+        assert_eq!(sb.flush(), 10);
+        assert_eq!(sb.used(), 0);
+    }
+
+    #[test]
+    fn oversized_write_never_fits() {
+        let mut sb = SocketBuffer::new(10);
+        assert!(!sb.offer(11));
+        assert_eq!(sb.used(), 0);
+    }
+}

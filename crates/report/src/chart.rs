@@ -1,0 +1,123 @@
+//! ASCII bar charts and scatter plots.
+
+/// Renders a horizontal bar chart.
+///
+/// Bars are scaled so the longest equals `width` characters.
+///
+/// # Examples
+///
+/// ```
+/// let s = osprey_report::bar_chart(
+///     "speedups",
+///     &[("iperf".to_string(), 15.6), ("du".to_string(), 7.1)],
+///     40,
+/// );
+/// assert!(s.contains("iperf"));
+/// assert!(s.contains('#'));
+/// ```
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = format!("{title}\n");
+    let max = rows
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let n = ((value.abs() / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{:<label_w$}  {:>10.4}  {}\n",
+            label,
+            value,
+            "#".repeat(n)
+        ));
+    }
+    out
+}
+
+/// Renders a sparse scatter plot of `(x, y)` points into a
+/// `width` × `height` character grid, with axis ranges annotated.
+///
+/// Intended for quick visual inspection of series like the paper's Fig. 4
+/// (per-invocation cycles) and Fig. 5 (instruction/cycle bubbles).
+///
+/// # Examples
+///
+/// ```
+/// let pts: Vec<(f64, f64)> = (0..50).map(|i| (i as f64, (i * i) as f64)).collect();
+/// let s = osprey_report::scatter(&pts, 40, 10);
+/// assert!(s.contains('*'));
+/// ```
+pub fn scatter(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() || width == 0 || height == 0 {
+        return String::from("(no data)\n");
+    }
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in points {
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let span_x = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let span_y = (max_y - min_y).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(x, y) in points {
+        let cx = (((x - min_x) / span_x) * (width - 1) as f64).round() as usize;
+        let cy = (((y - min_y) / span_y) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: {min_y:.0} .. {max_y:.0}\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("x: {min_x:.0} .. {max_x:.0}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let s = bar_chart(
+            "t",
+            &[("a".into(), 1.0), ("b".into(), 2.0)],
+            10,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[2]), 10, "largest bar fills the width");
+        assert_eq!(hashes(lines[1]), 5);
+    }
+
+    #[test]
+    fn bar_chart_handles_zeroes() {
+        let s = bar_chart("t", &[("z".into(), 0.0)], 10);
+        assert!(s.contains('z'));
+    }
+
+    #[test]
+    fn scatter_places_extremes() {
+        let s = scatter(&[(0.0, 0.0), (10.0, 10.0)], 20, 5);
+        let lines: Vec<&str> = s.lines().collect();
+        // First grid row (max y) has a star at the right edge.
+        assert!(lines[1].ends_with('*'));
+        // Last grid row (min y) has a star at the left edge.
+        assert!(lines[5].starts_with("|*"));
+    }
+
+    #[test]
+    fn scatter_of_nothing_is_graceful() {
+        assert_eq!(scatter(&[], 10, 5), "(no data)\n");
+    }
+}

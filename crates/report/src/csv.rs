@@ -1,0 +1,63 @@
+//! Minimal CSV emission (comma-separated, quoted only when needed).
+
+/// Serializes rows of string-like cells to CSV.
+///
+/// Cells containing commas, quotes, or newlines are quoted with doubled
+/// inner quotes, per RFC 4180.
+///
+/// # Examples
+///
+/// ```
+/// let csv = osprey_report::to_csv(&[
+///     vec!["bench".to_string(), "value".to_string()],
+///     vec!["ab,rand".to_string(), "1.5".to_string()],
+/// ]);
+/// assert_eq!(csv, "bench,value\n\"ab,rand\",1.5\n");
+/// ```
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let mut first = true;
+        for cell in row {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                out.push('"');
+                out.push_str(&cell.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cells: &[&str]) -> Vec<String> {
+        cells.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn plain_cells_are_unquoted() {
+        assert_eq!(to_csv(&[row(&["a", "b"])]), "a,b\n");
+    }
+
+    #[test]
+    fn special_cells_are_quoted_and_escaped() {
+        assert_eq!(to_csv(&[row(&["a,b"])]), "\"a,b\"\n");
+        assert_eq!(to_csv(&[row(&["say \"hi\""])]), "\"say \"\"hi\"\"\"\n");
+        assert_eq!(to_csv(&[row(&["two\nlines"])]), "\"two\nlines\"\n");
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert_eq!(to_csv(&[]), "");
+    }
+}

@@ -1,0 +1,26 @@
+//! Text rendering for Osprey experiment reports: aligned ASCII tables,
+//! horizontal bar charts, sparse scatter plots, and CSV emission.
+//!
+//! Every figure/table regenerator in `osprey-bench` prints through this
+//! crate so the output style is uniform.
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_report::Table;
+//!
+//! let mut t = Table::new(["benchmark", "speedup"]);
+//! t.row(["iperf", "15.6x"]);
+//! t.row(["du", "7.1x"]);
+//! let text = t.render();
+//! assert!(text.contains("iperf"));
+//! assert!(text.lines().count() >= 4);
+//! ```
+
+pub mod chart;
+pub mod csv;
+pub mod table;
+
+pub use chart::{bar_chart, scatter};
+pub use csv::to_csv;
+pub use table::Table;

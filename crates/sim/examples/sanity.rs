@@ -1,0 +1,21 @@
+use osprey_sim::{FullSystemSim, OsMode, SimConfig};
+use osprey_workloads::Benchmark;
+use std::time::Instant;
+
+fn main() {
+    for b in Benchmark::ALL {
+        let t = Instant::now();
+        let cfg = SimConfig::new(b).with_scale(0.25);
+        let r = FullSystemSim::new(cfg).run_to_completion();
+        let dt = t.elapsed().as_secs_f64();
+        let app = FullSystemSim::new(SimConfig::new(b).with_scale(0.25).with_os_mode(OsMode::AppOnly)).run_to_completion();
+        println!(
+            "{:8} instr={:>10} osfrac={:.2} ipc={:.3} l2mr={:.4} | app: instr={:>9} ipc={:.3} l2miss_ratio={:.1} exec_ratio={:.1} | {:.1}s {:.1}M i/s intervals={}",
+            r.benchmark, r.total_instructions, r.os_fraction(), r.ipc(), r.l2_miss_rate(),
+            app.total_instructions, app.ipc(),
+            r.l2_misses() as f64 / app.l2_misses().max(1) as f64,
+            r.total_cycles as f64 / app.total_cycles.max(1) as f64,
+            dt, r.total_instructions as f64 / dt / 1e6, r.intervals.len()
+        );
+    }
+}

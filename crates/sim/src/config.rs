@@ -1,0 +1,228 @@
+//! Simulation run configuration.
+
+use osprey_cpu::{Core, CpuConfig, EmulationCore, InOrderCore, OooCore};
+use osprey_mem::HierarchyConfig;
+use osprey_os::KernelConfig;
+use osprey_workloads::Benchmark;
+
+/// Which processor timing model to use — the paper's Table 1 mode matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreModel {
+    /// Out-of-order core with caches (`ooo-cache`): the detailed
+    /// full-system simulation mode.
+    OooCache,
+    /// Out-of-order core without caches (`ooo-nocache`).
+    OooNoCache,
+    /// In-order core with caches (`inorder-cache`).
+    InOrderCache,
+    /// In-order core without caches (`inorder-nocache`): the fastest
+    /// timing mode, the baseline of Table 1.
+    InOrderNoCache,
+    /// Pure functional emulation (no timing at all): the fast-forward
+    /// mode used during prediction periods.
+    Emulation,
+}
+
+impl CoreModel {
+    /// All timing-relevant modes, in Table 1 order.
+    pub const TABLE1: [CoreModel; 4] = [
+        CoreModel::InOrderNoCache,
+        CoreModel::InOrderCache,
+        CoreModel::OooNoCache,
+        CoreModel::OooCache,
+    ];
+
+    /// Label matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreModel::OooCache => "ooo-cache",
+            CoreModel::OooNoCache => "ooo-nocache",
+            CoreModel::InOrderCache => "inorder-cache",
+            CoreModel::InOrderNoCache => "inorder-nocache",
+            CoreModel::Emulation => "emulation",
+        }
+    }
+
+    /// Instantiates the core.
+    pub fn build(self) -> Box<dyn Core> {
+        match self {
+            CoreModel::OooCache => Box::new(OooCore::new(CpuConfig::pentium4())),
+            CoreModel::OooNoCache => Box::new(OooCore::new(CpuConfig::pentium4_nocache())),
+            CoreModel::InOrderCache => Box::new(InOrderCore::new(CpuConfig::pentium4())),
+            CoreModel::InOrderNoCache => {
+                Box::new(InOrderCore::new(CpuConfig::pentium4_nocache()))
+            }
+            CoreModel::Emulation => Box::new(EmulationCore::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Whether OS services are simulated at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OsMode {
+    /// Full-system simulation: kernel intervals execute on the timing
+    /// core and interrupts fire.
+    Full,
+    /// Application-only simulation: system calls and interrupts are
+    /// skipped (SimpleScalar-style).
+    AppOnly,
+}
+
+/// Configuration of one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_sim::{OsMode, SimConfig};
+/// use osprey_workloads::Benchmark;
+///
+/// let cfg = SimConfig::new(Benchmark::AbRand)
+///     .with_l2_bytes(512 * 1024)
+///     .with_os_mode(OsMode::AppOnly)
+///     .with_scale(0.1);
+/// assert_eq!(cfg.l2_bytes, 512 * 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Workload to run.
+    pub benchmark: Benchmark,
+    /// Master seed (workload, kernel, and pollution randomness derive
+    /// from it).
+    pub seed: u64,
+    /// Workload scale factor (1.0 = paper-like default length).
+    pub scale: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Processor timing model.
+    pub core: CoreModel,
+    /// Full-system or application-only.
+    pub os_mode: OsMode,
+    /// Synthetic-kernel tunables.
+    pub kernel: KernelConfig,
+}
+
+impl SimConfig {
+    /// A full-system, detailed (ooo-cache), 1 MiB-L2 run of `benchmark` —
+    /// the paper's default machine.
+    pub fn new(benchmark: Benchmark) -> Self {
+        Self {
+            benchmark,
+            seed: 1,
+            scale: 1.0,
+            l2_bytes: 1024 * 1024,
+            core: CoreModel::OooCache,
+            os_mode: OsMode::Full,
+            kernel: KernelConfig::default(),
+        }
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the workload scale.
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the L2 capacity.
+    pub fn with_l2_bytes(mut self, bytes: u64) -> Self {
+        self.l2_bytes = bytes;
+        self
+    }
+
+    /// Sets the processor model.
+    pub fn with_core(mut self, core: CoreModel) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Sets full-system vs application-only mode.
+    pub fn with_os_mode(mut self, mode: OsMode) -> Self {
+        self.os_mode = mode;
+        self
+    }
+
+    /// Sets kernel tunables.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The memory-hierarchy configuration implied by this run config.
+    pub fn hierarchy(&self) -> HierarchyConfig {
+        HierarchyConfig::pentium4(self.l2_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_order_matches_paper() {
+        let names: Vec<_> = CoreModel::TABLE1.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            ["inorder-nocache", "inorder-cache", "ooo-nocache", "ooo-cache"]
+        );
+    }
+
+    #[test]
+    fn build_produces_working_cores() {
+        use osprey_isa::{BlockSpec, Privilege};
+        use osprey_mem::Hierarchy;
+        for model in CoreModel::TABLE1 {
+            let mut core = model.build();
+            let mut mem = Hierarchy::new(HierarchyConfig::default());
+            for instr in BlockSpec::new(0x1000, 100).generate(1) {
+                core.step(&instr, &mut mem, Privilege::User);
+            }
+            assert_eq!(core.counters().instructions, 100, "{model}");
+            assert!(core.cycles() > 0, "{model}");
+        }
+    }
+
+    #[test]
+    fn emulation_core_has_no_cycles() {
+        use osprey_isa::{BlockSpec, Privilege};
+        use osprey_mem::Hierarchy;
+        let mut core = CoreModel::Emulation.build();
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        for instr in BlockSpec::new(0x1000, 50).generate(1) {
+            core.step(&instr, &mut mem, Privilege::User);
+        }
+        assert_eq!(core.cycles(), 0);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let cfg = SimConfig::new(Benchmark::Du)
+            .with_seed(7)
+            .with_scale(0.5)
+            .with_l2_bytes(2 * 1024 * 1024)
+            .with_core(CoreModel::InOrderCache)
+            .with_os_mode(OsMode::AppOnly);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.scale, 0.5);
+        assert_eq!(cfg.hierarchy().l2.size, 2 * 1024 * 1024);
+        assert_eq!(cfg.core, CoreModel::InOrderCache);
+        assert_eq!(cfg.os_mode, OsMode::AppOnly);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_zero_scale() {
+        SimConfig::new(Benchmark::Du).with_scale(0.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! OS service interval records.
+
+use osprey_isa::ServiceId;
+use osprey_mem::HierarchySnapshot;
+use serde::{Deserialize, Serialize};
+
+/// How an interval's performance numbers were obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalSource {
+    /// Fully simulated on the detailed timing core.
+    Simulated,
+    /// Fast-forwarded in emulation and predicted from the PLT.
+    Predicted,
+}
+
+/// One OS service interval: the contiguous kernel-mode instructions from
+/// a mode switch until the return to user mode (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    /// Service type that caused the mode switch.
+    pub service: ServiceId,
+    /// Execution-path label chosen by the kernel (diagnostics only; the
+    /// predictor never reads it).
+    pub path: &'static str,
+    /// Global interval sequence number within the run.
+    pub seq: u64,
+    /// Per-service invocation index (0-based).
+    pub invocation: u64,
+    /// Dynamic instructions in the interval — the behavior signature.
+    pub instructions: u64,
+    /// Loads retired in the interval (0 for predicted intervals).
+    pub loads: u64,
+    /// Stores retired in the interval (0 for predicted intervals).
+    pub stores: u64,
+    /// Branches retired in the interval (0 for predicted intervals).
+    pub branches: u64,
+    /// Cycles the interval took (simulated or predicted).
+    pub cycles: u64,
+    /// Cache activity during the interval (counter deltas).
+    pub caches: HierarchySnapshot,
+    /// Whether the numbers were simulated or predicted.
+    pub source: IntervalSource,
+}
+
+impl IntervalRecord {
+    /// Instructions per cycle for this interval (0 when no cycles).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(instr: u64, cycles: u64) -> IntervalRecord {
+        IntervalRecord {
+            service: ServiceId::SysRead,
+            path: "test",
+            seq: 0,
+            invocation: 0,
+            instructions: instr,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            cycles,
+            caches: HierarchySnapshot::default(),
+            source: IntervalSource::Simulated,
+        }
+    }
+
+    #[test]
+    fn ipc_divides_instructions_by_cycles() {
+        assert_eq!(record(300, 1000).ipc(), 0.3);
+    }
+
+    #[test]
+    fn ipc_of_zero_cycles_is_zero() {
+        assert_eq!(record(300, 0).ipc(), 0.0);
+    }
+}

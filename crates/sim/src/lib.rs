@@ -1,0 +1,45 @@
+//! The Osprey execution-driven full-system simulator.
+//!
+//! Binds a processor timing core ([`osprey_cpu`]), a memory hierarchy
+//! ([`osprey_mem`]), the synthetic kernel ([`osprey_os`]), and a workload
+//! ([`osprey_workloads`]) into a machine, and drives it while detecting
+//! **OS service intervals** at user/kernel mode-switch boundaries —
+//! exactly the instrumentation the paper adds on top of Simics (§3, §5.1).
+//!
+//! Three operating modes mirror the paper's methodology:
+//!
+//! * **Full-system detailed** ([`OsMode::Full`] + a timing core): every
+//!   instruction, user and kernel, runs through the timing models; every
+//!   OS service interval is recorded ([`IntervalRecord`]).
+//! * **Application-only** ([`OsMode::AppOnly`]): system calls and
+//!   interrupts are skipped entirely, as in SimpleScalar-style simulation
+//!   (the paper's Fig. 1/2 comparison).
+//! * **Accelerated** (driven by `osprey-core`): the simulator exposes
+//!   [`FullSystemSim::advance_to_service`] /
+//!   [`FullSystemSim::execute_service`] /
+//!   [`FullSystemSim::emulate_service`] so a predictor can switch each OS
+//!   service between detailed simulation (learning) and emulation plus
+//!   prediction.
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_sim::{FullSystemSim, SimConfig};
+//! use osprey_workloads::Benchmark;
+//!
+//! let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.01);
+//! let mut sim = FullSystemSim::new(cfg);
+//! let report = sim.run_to_completion();
+//! assert!(report.total_cycles > 0);
+//! assert!(report.os_fraction() > 0.5, "iperf is OS-intensive");
+//! ```
+
+pub mod config;
+pub mod interval;
+pub mod machine;
+pub mod report;
+
+pub use config::{CoreModel, OsMode, SimConfig};
+pub use interval::IntervalRecord;
+pub use machine::FullSystemSim;
+pub use report::RunReport;

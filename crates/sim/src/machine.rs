@@ -1,0 +1,435 @@
+//! The simulated machine and its driver loop.
+
+use std::time::Instant;
+
+use osprey_cpu::Core;
+use osprey_isa::{Privilege, ServiceId};
+use osprey_mem::{Hierarchy, HierarchySnapshot};
+use osprey_os::{Kernel, ServiceInvocation};
+use osprey_workloads::{WorkItem, Workload};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::config::{OsMode, SimConfig};
+use crate::interval::{IntervalRecord, IntervalSource};
+use crate::report::RunReport;
+
+/// The bound machine: core + caches + kernel + workload.
+///
+/// Drive it either with [`FullSystemSim::run_to_completion`] (plain
+/// full-system or application-only simulation) or with the
+/// advance/execute/emulate triple (accelerated simulation under an
+/// external predictor).
+pub struct FullSystemSim {
+    cfg: SimConfig,
+    core: Box<dyn Core>,
+    mem: Hierarchy,
+    kernel: Kernel,
+    workload: Box<dyn Workload>,
+    pollution_rng: SmallRng,
+    /// Total retired (functional) instructions, user + OS, simulated +
+    /// emulated.
+    instret: u64,
+    user_instructions: u64,
+    os_instructions: u64,
+    /// Cycles contributed by *predicted* (not simulated) intervals.
+    extra_cycles: u64,
+    /// Cache activity contributed by predicted intervals.
+    extra_caches: HierarchySnapshot,
+    user_blocks: u64,
+    seq: u64,
+    per_service: [u64; ServiceId::ALL.len()],
+    records: Vec<IntervalRecord>,
+    started: Instant,
+    /// Workload items consumed so far (to detect the warm-up boundary).
+    items_consumed: usize,
+    /// Set once the warm-up region has been executed and measurement
+    /// baselines captured.
+    measuring: bool,
+    base_cycles: u64,
+    base_instret: u64,
+    base_user: u64,
+    base_os: u64,
+    base_caches: HierarchySnapshot,
+    pollution_enabled: bool,
+}
+
+impl FullSystemSim {
+    /// Builds a cold machine for the given configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let core = cfg.core.build();
+        let mem = Hierarchy::new(cfg.hierarchy());
+        let kernel = Kernel::with_config(cfg.kernel, cfg.seed);
+        let workload = cfg.benchmark.instantiate_scaled(cfg.seed, cfg.scale);
+        Self {
+            pollution_rng: SmallRng::seed_from_u64(cfg.seed ^ 0x706f_6c6c),
+            core,
+            mem,
+            kernel,
+            workload,
+            cfg,
+            instret: 0,
+            user_instructions: 0,
+            os_instructions: 0,
+            extra_cycles: 0,
+            extra_caches: HierarchySnapshot::default(),
+            user_blocks: 0,
+            seq: 0,
+            per_service: [0; ServiceId::ALL.len()],
+            records: Vec::new(),
+            started: Instant::now(),
+            items_consumed: 0,
+            measuring: false,
+            base_cycles: 0,
+            base_instret: 0,
+            base_user: 0,
+            base_os: 0,
+            base_caches: HierarchySnapshot::default(),
+            pollution_enabled: true,
+        }
+    }
+
+    /// Enables or disables the §4.5 cache-pollution model for predicted
+    /// intervals (used by the pollution ablation study; on by default).
+    pub fn set_pollution_enabled(&mut self, enabled: bool) {
+        self.pollution_enabled = enabled;
+    }
+
+    /// `true` while the workload's warm-up region is still executing.
+    ///
+    /// During warm-up everything runs in full detail (so caches and
+    /// kernel state reach steady state) but intervals are not recorded
+    /// and counters are excluded from the report — the paper's §5.2
+    /// skip-then-measure protocol. Callers driving the accelerated mode
+    /// should keep executing services in detail while this is `true`.
+    pub fn in_warmup(&self) -> bool {
+        !self.measuring
+    }
+
+    fn maybe_begin_measurement(&mut self) {
+        if self.measuring || self.items_consumed < self.workload.warmup_items() {
+            return;
+        }
+        self.measuring = true;
+        self.base_cycles = self.total_cycles();
+        self.base_instret = self.instret;
+        self.base_user = self.user_instructions;
+        self.base_os = self.os_instructions;
+        self.base_caches = self.mem.snapshot();
+        self.records.clear();
+        self.started = Instant::now();
+    }
+
+    /// The configuration this machine was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Total simulated cycles so far (detailed cycles plus predicted
+    /// cycles).
+    pub fn total_cycles(&self) -> u64 {
+        self.core.cycles() + self.extra_cycles
+    }
+
+    /// Total retired instructions so far.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Number of completed invocations of `service`.
+    pub fn invocations_of(&self, service: ServiceId) -> u64 {
+        self.per_service[service.index()]
+    }
+
+    /// Runs user-mode work until the next OS service invocation (system
+    /// call or due interrupt), returning it *unexecuted*, or `None` when
+    /// the workload is exhausted.
+    ///
+    /// In [`OsMode::AppOnly`] runs this always returns `None` after
+    /// draining the workload: calls are skipped and interrupts never
+    /// fire.
+    pub fn advance_to_service(&mut self) -> Option<ServiceInvocation> {
+        let full = self.cfg.os_mode == OsMode::Full;
+        loop {
+            self.maybe_begin_measurement();
+            if full {
+                if let Some(id) = self.kernel.due_interrupt(self.instret) {
+                    return Some(self.kernel.raise(id, self.instret));
+                }
+            }
+            match self.workload.next_item() {
+                None => {
+                    self.maybe_begin_measurement();
+                    return None;
+                }
+                Some(item) => {
+                    self.items_consumed += 1;
+                    match item {
+                        WorkItem::Compute(spec) => self.run_user_block(&spec),
+                        WorkItem::Call(req) => {
+                            if full {
+                                return Some(self.kernel.handle(&req, self.instret));
+                            }
+                            // Application-only simulation skips the OS
+                            // entirely.
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn run_user_block(&mut self, spec: &osprey_isa::BlockSpec) {
+        self.user_blocks += 1;
+        let seed = self.cfg.seed ^ self.user_blocks.wrapping_mul(0x517c_c1b7_2722_0a95);
+        for instr in spec.generate(seed) {
+            self.core.step(&instr, &mut self.mem, Privilege::User);
+        }
+        self.instret += spec.instr_count;
+        self.user_instructions += spec.instr_count;
+    }
+
+    /// Executes an OS service interval on the detailed timing core and
+    /// records it. Returns the interval record.
+    pub fn execute_service(&mut self, inv: &ServiceInvocation) -> IntervalRecord {
+        let cycles0 = self.core.cycles();
+        let snap0 = self.mem.snapshot();
+        let counters0 = *self.core.counters();
+        for instr in inv.instructions() {
+            self.core.step(&instr, &mut self.mem, Privilege::Kernel);
+        }
+        let n = inv.instr_count();
+        self.instret += n;
+        self.os_instructions += n;
+        let counters = self.core.counters().delta(&counters0);
+        let record = IntervalRecord {
+            service: inv.service,
+            path: inv.path,
+            seq: self.seq,
+            invocation: self.per_service[inv.service.index()],
+            instructions: n,
+            loads: counters.loads,
+            stores: counters.stores,
+            branches: counters.branches,
+            cycles: self.core.cycles() - cycles0,
+            caches: self.mem.snapshot().delta(&snap0),
+            source: IntervalSource::Simulated,
+        };
+        self.seq += 1;
+        self.per_service[inv.service.index()] += 1;
+        self.records.push(record);
+        record
+    }
+
+    /// Fast-forwards an OS service interval in emulation mode: no timing
+    /// or cache state is touched; only the functional instruction count
+    /// advances. Returns the interval's dynamic instruction count — the
+    /// behavior signature the predictor matches against its clusters.
+    ///
+    /// The caller is expected to follow up with
+    /// [`FullSystemSim::apply_prediction`].
+    pub fn emulate_service(&mut self, inv: &ServiceInvocation) -> u64 {
+        let n = inv.instr_count();
+        self.instret += n;
+        self.os_instructions += n;
+        n
+    }
+
+    /// Accounts a *predicted* interval: adds the predicted cycles and
+    /// cache activity to the run totals, applies the paper's §4.5 cache
+    /// pollution model (displacing application lines for each predicted
+    /// OS miss), and records the interval as predicted.
+    pub fn apply_prediction(
+        &mut self,
+        service: ServiceId,
+        instructions: u64,
+        cycles: u64,
+        caches: HierarchySnapshot,
+    ) -> IntervalRecord {
+        self.extra_cycles += cycles;
+        self.extra_caches.add(&caches);
+        if self.pollution_enabled {
+            self.mem.pollute(
+                (caches.l1i.os_accesses, caches.l1i.os_misses),
+                (caches.l1d.os_accesses, caches.l1d.os_misses),
+                (caches.l2.os_accesses, caches.l2.os_misses),
+                &mut self.pollution_rng,
+            );
+        }
+        let record = IntervalRecord {
+            service,
+            path: "(predicted)",
+            seq: self.seq,
+            invocation: self.per_service[service.index()],
+            instructions,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            cycles,
+            caches,
+            source: IntervalSource::Predicted,
+        };
+        self.seq += 1;
+        self.per_service[service.index()] += 1;
+        self.records.push(record);
+        record
+    }
+
+    /// Runs the whole workload in the configured mode, executing every
+    /// OS service in detail, and returns the final report.
+    pub fn run_to_completion(&mut self) -> RunReport {
+        while let Some(inv) = self.advance_to_service() {
+            self.execute_service(&inv);
+        }
+        self.report()
+    }
+
+    /// Builds a report of everything simulated in the measurement region
+    /// (warm-up activity is excluded).
+    pub fn report(&self) -> RunReport {
+        let measured = self.mem.snapshot().delta(&self.base_caches);
+        let mut caches = measured;
+        caches.add(&self.extra_caches);
+        RunReport {
+            benchmark: self.workload.name().to_string(),
+            mode: self.cfg.core.name().to_string(),
+            total_instructions: self.instret - self.base_instret,
+            user_instructions: self.user_instructions - self.base_user,
+            os_instructions: self.os_instructions - self.base_os,
+            total_cycles: self.total_cycles() - self.base_cycles,
+            caches,
+            measured_caches: measured,
+            intervals: self.records.clone(),
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_workloads::Benchmark;
+
+    fn quick(benchmark: Benchmark) -> SimConfig {
+        SimConfig::new(benchmark).with_scale(0.02).with_seed(3)
+    }
+
+    #[test]
+    fn full_run_produces_intervals_and_cycles() {
+        let mut sim = FullSystemSim::new(quick(Benchmark::AbRand));
+        let report = sim.run_to_completion();
+        assert!(report.total_cycles > 0);
+        assert!(!report.intervals.is_empty());
+        assert!(report.os_instructions > 0);
+        assert!(report.user_instructions > 0);
+        assert_eq!(
+            report.total_instructions,
+            report.user_instructions + report.os_instructions
+        );
+    }
+
+    #[test]
+    fn app_only_run_skips_all_services() {
+        let mut sim = FullSystemSim::new(quick(Benchmark::AbRand).with_os_mode(OsMode::AppOnly));
+        let report = sim.run_to_completion();
+        assert!(report.intervals.is_empty());
+        assert_eq!(report.os_instructions, 0);
+        assert!(report.total_cycles > 0);
+    }
+
+    #[test]
+    fn full_system_executes_more_instructions_than_app_only() {
+        let full = FullSystemSim::new(quick(Benchmark::Iperf)).run_to_completion();
+        let app = FullSystemSim::new(quick(Benchmark::Iperf).with_os_mode(OsMode::AppOnly))
+            .run_to_completion();
+        assert!(full.total_instructions > 2 * app.total_instructions);
+        assert!(full.total_cycles > app.total_cycles);
+    }
+
+    #[test]
+    fn timer_interrupts_fire_during_long_compute() {
+        let mut sim = FullSystemSim::new(quick(Benchmark::Gzip).with_scale(0.1));
+        let report = sim.run_to_completion();
+        let timers = report
+            .intervals
+            .iter()
+            .filter(|r| r.service == ServiceId::IntTimer)
+            .count();
+        assert!(timers > 0, "timer must fire during 2.4M instructions");
+    }
+
+    #[test]
+    fn intervals_carry_kernel_owned_cache_activity() {
+        let mut sim = FullSystemSim::new(quick(Benchmark::AbRand));
+        let report = sim.run_to_completion();
+        let with_os_accesses = report
+            .intervals
+            .iter()
+            .filter(|r| r.caches.l1d.os_accesses > 0)
+            .count();
+        assert!(with_os_accesses > report.intervals.len() / 2);
+        // User-owner activity inside OS intervals must be zero.
+        for r in &report.intervals {
+            assert_eq!(r.caches.l1d.app_accesses, 0, "{:?}", r.service);
+        }
+    }
+
+    #[test]
+    fn emulate_plus_prediction_matches_detailed_instruction_totals() {
+        let cfg = quick(Benchmark::Du);
+        let mut detailed = FullSystemSim::new(cfg.clone());
+        let detailed_report = detailed.run_to_completion();
+
+        let mut accel = FullSystemSim::new(cfg);
+        while let Some(inv) = accel.advance_to_service() {
+            let n = accel.emulate_service(&inv);
+            accel.apply_prediction(inv.service, n, 1000, HierarchySnapshot::default());
+        }
+        let accel_report = accel.report();
+        assert_eq!(
+            accel_report.total_instructions,
+            detailed_report.total_instructions
+        );
+        assert_eq!(accel_report.os_instructions, detailed_report.os_instructions);
+    }
+
+    #[test]
+    fn predicted_cycles_accumulate_into_totals() {
+        let mut sim = FullSystemSim::new(quick(Benchmark::Du));
+        let inv = sim.advance_to_service().expect("du makes calls");
+        let before = sim.total_cycles();
+        sim.emulate_service(&inv);
+        sim.apply_prediction(inv.service, 100, 12_345, HierarchySnapshot::default());
+        assert_eq!(sim.total_cycles(), before + 12_345);
+        let report = sim.report();
+        assert_eq!(report.intervals.len(), 1);
+        assert_eq!(
+            report.intervals[0].source,
+            crate::interval::IntervalSource::Predicted
+        );
+    }
+
+    #[test]
+    fn per_service_invocation_counts_track_records() {
+        let mut sim = FullSystemSim::new(quick(Benchmark::AbSeq));
+        let report = sim.run_to_completion();
+        let reads = report
+            .intervals
+            .iter()
+            .filter(|r| r.service == ServiceId::SysRead)
+            .count() as u64;
+        // `invocations_of` counts warm-up invocations too; recorded
+        // intervals cover only the measurement region.
+        assert!(sim.invocations_of(ServiceId::SysRead) >= reads);
+        assert!(reads > 10);
+    }
+
+    #[test]
+    fn identical_configs_are_deterministic() {
+        let a = FullSystemSim::new(quick(Benchmark::FindOd)).run_to_completion();
+        let b = FullSystemSim::new(quick(Benchmark::FindOd)).run_to_completion();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.total_instructions, b.total_instructions);
+        assert_eq!(a.intervals.len(), b.intervals.len());
+    }
+}

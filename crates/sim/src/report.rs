@@ -1,0 +1,198 @@
+//! Run reports and per-service aggregation.
+
+use std::time::Duration;
+
+use osprey_isa::ServiceId;
+use osprey_mem::HierarchySnapshot;
+use osprey_stats::Streaming;
+
+use crate::interval::IntervalRecord;
+
+/// Everything a finished (or in-progress) run can tell you.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Core-model label the run used.
+    pub mode: String,
+    /// Total retired instructions (user + OS).
+    pub total_instructions: u64,
+    /// User-mode instructions.
+    pub user_instructions: u64,
+    /// Kernel-mode instructions.
+    pub os_instructions: u64,
+    /// Total cycles (detailed plus predicted).
+    pub total_cycles: u64,
+    /// Cache counters including predicted contributions.
+    pub caches: HierarchySnapshot,
+    /// Cache counters from detailed simulation only.
+    pub measured_caches: HierarchySnapshot,
+    /// Every OS service interval, in execution order.
+    pub intervals: Vec<IntervalRecord>,
+    /// Host wall-clock time the run took.
+    pub wall: Duration,
+}
+
+/// Aggregated behavior of one OS service across a run — a row of the
+/// paper's Fig. 3.
+#[derive(Debug, Clone)]
+pub struct ServiceSummary {
+    /// The service.
+    pub service: ServiceId,
+    /// Number of intervals observed.
+    pub count: u64,
+    /// Cycle statistics across intervals.
+    pub cycles: Streaming,
+    /// IPC statistics across intervals.
+    pub ipc: Streaming,
+    /// Instruction-count statistics across intervals.
+    pub instructions: Streaming,
+}
+
+impl RunReport {
+    /// Overall instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.total_instructions as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Fraction of retired instructions executed in kernel mode
+    /// (the paper reports 67–99 % for its OS-intensive applications).
+    pub fn os_fraction(&self) -> f64 {
+        if self.total_instructions == 0 {
+            0.0
+        } else {
+            self.os_instructions as f64 / self.total_instructions as f64
+        }
+    }
+
+    /// Cycles spent in OS service intervals.
+    pub fn os_cycles(&self) -> u64 {
+        self.intervals.iter().map(|r| r.cycles).sum()
+    }
+
+    /// L1 instruction-cache miss rate (including predicted activity).
+    pub fn l1i_miss_rate(&self) -> f64 {
+        self.caches.l1i.miss_rate()
+    }
+
+    /// L1 data-cache miss rate (including predicted activity).
+    pub fn l1d_miss_rate(&self) -> f64 {
+        self.caches.l1d.miss_rate()
+    }
+
+    /// Unified L2 miss rate (including predicted activity).
+    pub fn l2_miss_rate(&self) -> f64 {
+        self.caches.l2.miss_rate()
+    }
+
+    /// Total L2 misses (including predicted activity).
+    pub fn l2_misses(&self) -> u64 {
+        self.caches.l2.misses()
+    }
+
+    /// Per-service aggregation across all intervals, ordered by service
+    /// index; services that never occurred are omitted.
+    pub fn service_summaries(&self) -> Vec<ServiceSummary> {
+        let mut map: std::collections::BTreeMap<ServiceId, ServiceSummary> = Default::default();
+        for r in &self.intervals {
+            let entry = map.entry(r.service).or_insert_with(|| ServiceSummary {
+                service: r.service,
+                count: 0,
+                cycles: Streaming::new(),
+                ipc: Streaming::new(),
+                instructions: Streaming::new(),
+            });
+            entry.count += 1;
+            entry.cycles.push(r.cycles as f64);
+            entry.ipc.push(r.ipc());
+            entry.instructions.push(r.instructions as f64);
+        }
+        map.into_values().collect()
+    }
+
+    /// The per-invocation cycle timeline of one service (the paper's
+    /// Fig. 4 series for `sys_read`).
+    pub fn service_timeline(&self, service: ServiceId) -> Vec<u64> {
+        self.intervals
+            .iter()
+            .filter(|r| r.service == service)
+            .map(|r| r.cycles)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntervalSource;
+
+    fn report_with(intervals: Vec<IntervalRecord>) -> RunReport {
+        RunReport {
+            benchmark: "test".into(),
+            mode: "ooo-cache".into(),
+            total_instructions: 1_000,
+            user_instructions: 400,
+            os_instructions: 600,
+            total_cycles: 2_000,
+            caches: HierarchySnapshot::default(),
+            measured_caches: HierarchySnapshot::default(),
+            intervals,
+            wall: Duration::from_millis(1),
+        }
+    }
+
+    fn rec(service: ServiceId, instr: u64, cycles: u64) -> IntervalRecord {
+        IntervalRecord {
+            service,
+            path: "p",
+            seq: 0,
+            invocation: 0,
+            instructions: instr,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            cycles,
+            caches: HierarchySnapshot::default(),
+            source: IntervalSource::Simulated,
+        }
+    }
+
+    #[test]
+    fn scalar_metrics() {
+        let r = report_with(vec![]);
+        assert_eq!(r.ipc(), 0.5);
+        assert_eq!(r.os_fraction(), 0.6);
+        assert_eq!(r.os_cycles(), 0);
+    }
+
+    #[test]
+    fn summaries_group_by_service() {
+        let r = report_with(vec![
+            rec(ServiceId::SysRead, 100, 500),
+            rec(ServiceId::SysRead, 200, 900),
+            rec(ServiceId::SysOpen, 50, 100),
+        ]);
+        let summaries = r.service_summaries();
+        assert_eq!(summaries.len(), 2);
+        let read = summaries
+            .iter()
+            .find(|s| s.service == ServiceId::SysRead)
+            .unwrap();
+        assert_eq!(read.count, 2);
+        assert_eq!(read.cycles.mean(), 700.0);
+    }
+
+    #[test]
+    fn timeline_preserves_order() {
+        let r = report_with(vec![
+            rec(ServiceId::SysRead, 1, 10),
+            rec(ServiceId::SysOpen, 1, 99),
+            rec(ServiceId::SysRead, 1, 20),
+        ]);
+        assert_eq!(r.service_timeline(ServiceId::SysRead), vec![10, 20]);
+    }
+}

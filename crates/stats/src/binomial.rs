@@ -1,0 +1,249 @@
+//! Binomial capture-probability analysis for learning-window sizing.
+//!
+//! The paper models cluster occurrence during a learning window of `N`
+//! invocations as `N` i.i.d. Bernoulli trials (Eq. 1). The probability of
+//! capturing a cluster with occurrence probability `p` at least once in the
+//! window (Eq. 2) is
+//!
+//! ```text
+//! P(N, k >= 1, x) = sum_{k=1..N} C(N,k) p^k (1-p)^(N-k) = 1 - (1-p)^N
+//! ```
+//!
+//! The initial learning window is the smallest `N` for which that
+//! probability meets the degree of confidence (Eq. 3). The paper's Fig. 7
+//! plots `N` against `p_min` for 95 % and 99 % confidence; with
+//! `p_min = 3 %` the window comes out at ~100 (95 %) and a bit over 150
+//! (99 %), which [`learning_window`] reproduces exactly.
+
+/// Probability that a cluster with per-invocation occurrence probability
+/// `p` appears **at least once** in a learning window of `n` invocations.
+///
+/// This is the closed form of the paper's Eq. 2 under the i.i.d.
+/// assumption: `1 - (1 - p)^n`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::binomial::capture_probability;
+///
+/// // A 3%-likely cluster is captured ~95% of the time in 100 trials.
+/// let p = capture_probability(0.03, 100);
+/// assert!(p > 0.95 && p < 0.96);
+/// ```
+pub fn capture_probability(p: f64, n: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    1.0 - (1.0 - p).powi(n.min(i32::MAX as u64) as i32)
+}
+
+/// Smallest learning window `N` that captures every cluster whose
+/// occurrence probability is at least `p_min`, with degree of confidence
+/// `doc` (paper Eq. 3).
+///
+/// Returns `None` when the parameters make capture impossible
+/// (`p_min == 0`) or the inputs are out of range.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::binomial::learning_window;
+///
+/// // The paper's operating point: p_min = 3%, DoC = 95% -> ~100 trials;
+/// // at 99% the window is a little over 150.
+/// assert_eq!(learning_window(0.03, 0.95), Some(99));
+/// assert_eq!(learning_window(0.03, 0.99), Some(152));
+/// ```
+pub fn learning_window(p_min: f64, doc: f64) -> Option<u64> {
+    if !(0.0..1.0).contains(&doc) || p_min <= 0.0 || p_min > 1.0 {
+        return None;
+    }
+    // 1 - (1-p)^N >= doc  <=>  N >= ln(1-doc) / ln(1-p)
+    let n = ((1.0 - doc).ln() / (1.0 - p_min).ln()).ceil();
+    if n.is_finite() {
+        Some(n.max(1.0) as u64)
+    } else {
+        // p_min == 1.0 makes ln(0) = -inf; a single trial suffices.
+        Some(1)
+    }
+}
+
+/// Binomial probability mass function `C(n,k) p^k (1-p)^(n-k)`
+/// (the paper's Eq. 1).
+///
+/// Computed in log space to stay finite for large `n`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `k > n`.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::binomial::pmf;
+///
+/// // Fair coin, 4 flips, exactly 2 heads: 6/16.
+/// assert!((pmf(4, 2, 0.5) - 0.375).abs() < 1e-12);
+/// ```
+pub fn pmf(n: u64, k: u64, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+    assert!(k <= n, "k must not exceed n");
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let log_pmf = ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln();
+    log_pmf.exp()
+}
+
+/// Cumulative probability of observing **at most** `k` occurrences in `n`
+/// trials.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::binomial::cdf;
+///
+/// assert!((cdf(4, 4, 0.5) - 1.0).abs() < 1e-12);
+/// assert!((cdf(4, 1, 0.5) - 5.0 / 16.0).abs() < 1e-12);
+/// ```
+pub fn cdf(n: u64, k: u64, p: f64) -> f64 {
+    (0..=k.min(n)).map(|i| pmf(n, i, p)).sum()
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Natural log of `n!` via `lgamma`-style summation (exact accumulation for
+/// the sizes used here; learning windows are a few hundred at most).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|i| (i as f64).ln()).sum()
+}
+
+/// One (p_min, N) point of the paper's Fig. 7 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPoint {
+    /// Minimum occurrence probability a cluster must have to be captured.
+    pub p_min: f64,
+    /// Required learning-window length.
+    pub window: u64,
+}
+
+/// Sweeps `p_min` over `(0, max_p]` in `steps` equal increments and returns
+/// the required learning window at the given degree of confidence —
+/// the data series of the paper's Fig. 7.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::binomial::window_curve;
+///
+/// let curve = window_curve(0.2, 20, 0.95);
+/// assert_eq!(curve.len(), 20);
+/// // Window length decreases as p_min grows.
+/// assert!(curve.first().unwrap().window > curve.last().unwrap().window);
+/// ```
+pub fn window_curve(max_p: f64, steps: usize, doc: f64) -> Vec<WindowPoint> {
+    (1..=steps)
+        .filter_map(|i| {
+            let p_min = max_p * i as f64 / steps as f64;
+            learning_window(p_min, doc).map(|window| WindowPoint { p_min, window })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_probability_monotone_in_n() {
+        let mut last = 0.0;
+        for n in [1, 5, 25, 100, 400] {
+            let p = capture_probability(0.03, n);
+            assert!(p > last, "capture probability must grow with n");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn capture_probability_edge_cases() {
+        assert_eq!(capture_probability(0.0, 1000), 0.0);
+        assert_eq!(capture_probability(1.0, 1), 1.0);
+        assert_eq!(capture_probability(0.5, 0), 0.0);
+    }
+
+    #[test]
+    fn paper_operating_points() {
+        // Fig. 7: at p_min = 3%, the window is ~100 at 95% DoC and a bit
+        // over 150 at 99% DoC.
+        let n95 = learning_window(0.03, 0.95).unwrap();
+        let n99 = learning_window(0.03, 0.99).unwrap();
+        assert!((95..=100).contains(&n95), "n95 = {n95}");
+        assert!((150..=160).contains(&n99), "n99 = {n99}");
+    }
+
+    #[test]
+    fn window_satisfies_and_is_minimal() {
+        for &(p, doc) in &[(0.01, 0.95), (0.03, 0.95), (0.03, 0.99), (0.1, 0.9)] {
+            let n = learning_window(p, doc).unwrap();
+            assert!(capture_probability(p, n) >= doc);
+            if n > 1 {
+                assert!(capture_probability(p, n - 1) < doc, "window not minimal");
+            }
+        }
+    }
+
+    #[test]
+    fn learning_window_rejects_bad_inputs() {
+        assert_eq!(learning_window(0.0, 0.95), None);
+        assert_eq!(learning_window(-0.1, 0.95), None);
+        assert_eq!(learning_window(0.03, 1.0), None);
+        assert_eq!(learning_window(0.03, -0.2), None);
+        assert_eq!(learning_window(1.5, 0.95), None);
+    }
+
+    #[test]
+    fn certain_cluster_needs_one_trial() {
+        assert_eq!(learning_window(1.0, 0.99), Some(1));
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(10u64, 0.3), (50, 0.03), (100, 0.5)] {
+            let total: f64 = (0..=n).map(|k| pmf(n, k, p)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn pmf_matches_hand_computation() {
+        assert!((pmf(4, 0, 0.5) - 1.0 / 16.0).abs() < 1e-12);
+        assert!((pmf(4, 2, 0.5) - 6.0 / 16.0).abs() < 1e-12);
+        assert!((pmf(3, 1, 0.2) - 3.0 * 0.2 * 0.64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_complements_capture_probability() {
+        // P(at least one) = 1 - P(zero) = 1 - cdf(n, 0, p).
+        for &(n, p) in &[(100u64, 0.03), (10, 0.5)] {
+            let lhs = capture_probability(p, n);
+            let rhs = 1.0 - cdf(n, 0, p);
+            assert!((lhs - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn window_curve_is_monotone_decreasing() {
+        let curve = window_curve(0.2, 40, 0.95);
+        for pair in curve.windows(2) {
+            assert!(pair[0].window >= pair[1].window);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Histograms, including the two-dimensional "bubble histogram" of the
+//! paper's Fig. 5 (instruction-count bins × cycle bins, bubble area
+//! proportional to occurrence count).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width one-dimensional histogram over `f64` values.
+///
+/// Bins are indexed by `floor(value / width)`, so negative values are
+/// supported and empty bins cost nothing.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::Histogram;
+///
+/// let mut h = Histogram::new(10.0);
+/// h.add(3.0);
+/// h.add(7.0);
+/// h.add(15.0);
+/// assert_eq!(h.count(0), 2);
+/// assert_eq!(h.count(1), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    width: f64,
+    bins: BTreeMap<i64, u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given bin width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive and finite.
+    pub fn new(width: f64) -> Self {
+        assert!(
+            width > 0.0 && width.is_finite(),
+            "bin width must be positive and finite"
+        );
+        Self {
+            width,
+            bins: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, value: f64) {
+        let idx = (value / self.width).floor() as i64;
+        *self.bins.entry(idx).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations in bin `idx`.
+    pub fn count(&self, idx: i64) -> u64 {
+        self.bins.get(&idx).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of non-empty bins.
+    pub fn occupied_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Iterates `(bin_index, count)` in ascending bin order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.bins.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Lower edge of bin `idx`.
+    pub fn bin_start(&self, idx: i64) -> f64 {
+        idx as f64 * self.width
+    }
+}
+
+/// One occupied cell of a [`BubbleHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bubble {
+    /// X-axis bin index (instruction bin in the paper's Fig. 5).
+    pub x_bin: i64,
+    /// Y-axis bin index (cycle bin in the paper's Fig. 5).
+    pub y_bin: i64,
+    /// Number of occurrences that fell in this cell.
+    pub count: u64,
+}
+
+/// A two-dimensional histogram whose occupied cells are "bubbles" with an
+/// occurrence count, as plotted in the paper's Fig. 5 for `sys_read`
+/// (1000-instruction × 4000-cycle bins).
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::BubbleHistogram;
+///
+/// let mut h = BubbleHistogram::new(1000.0, 4000.0);
+/// h.add(2500.0, 9000.0);
+/// h.add(2700.0, 8500.0);
+/// let bubbles = h.bubbles();
+/// assert_eq!(bubbles.len(), 1);
+/// assert_eq!(bubbles[0].count, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BubbleHistogram {
+    x_width: f64,
+    y_width: f64,
+    cells: BTreeMap<(i64, i64), u64>,
+    total: u64,
+}
+
+impl BubbleHistogram {
+    /// Creates a bubble histogram with the given bin widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either width is not strictly positive and finite.
+    pub fn new(x_width: f64, y_width: f64) -> Self {
+        assert!(
+            x_width > 0.0 && x_width.is_finite() && y_width > 0.0 && y_width.is_finite(),
+            "bin widths must be positive and finite"
+        );
+        Self {
+            x_width,
+            y_width,
+            cells: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one `(x, y)` observation.
+    pub fn add(&mut self, x: f64, y: f64) {
+        let key = (
+            (x / self.x_width).floor() as i64,
+            (y / self.y_width).floor() as i64,
+        );
+        *self.cells.entry(key).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All occupied cells, ordered by `(x_bin, y_bin)`.
+    pub fn bubbles(&self) -> Vec<Bubble> {
+        self.cells
+            .iter()
+            .map(|(&(x_bin, y_bin), &count)| Bubble {
+                x_bin,
+                y_bin,
+                count,
+            })
+            .collect()
+    }
+
+    /// Center coordinates of a cell, for plotting.
+    pub fn cell_center(&self, x_bin: i64, y_bin: i64) -> (f64, f64) {
+        (
+            (x_bin as f64 + 0.5) * self.x_width,
+            (y_bin as f64 + 0.5) * self.y_width,
+        )
+    }
+
+    /// Fraction of observations captured by the `k` most populated cells.
+    ///
+    /// The paper's Fig. 5 observation — "few large bubbles rather than many
+    /// small ones" — corresponds to this concentration being high for small
+    /// `k`.
+    pub fn concentration(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut counts: Vec<u64> = self.cells.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: u64 = counts.into_iter().take(k).sum();
+        top as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_values_by_floor() {
+        let mut h = Histogram::new(4000.0);
+        h.add(0.0);
+        h.add(3999.9);
+        h.add(4000.0);
+        h.add(-1.0);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(-1), 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.occupied_bins(), 3);
+    }
+
+    #[test]
+    fn histogram_iterates_in_order() {
+        let mut h = Histogram::new(1.0);
+        for v in [5.0, 1.0, 3.0, 1.5] {
+            h.add(v);
+        }
+        let bins: Vec<_> = h.iter().collect();
+        assert_eq!(bins, vec![(1, 2), (3, 1), (5, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn histogram_rejects_zero_width() {
+        Histogram::new(0.0);
+    }
+
+    #[test]
+    fn bubble_groups_nearby_points() {
+        let mut h = BubbleHistogram::new(1000.0, 4000.0);
+        // Two points in the same cell, one in a different cell.
+        h.add(2500.0, 9000.0);
+        h.add(2999.0, 11999.0);
+        h.add(10500.0, 45000.0);
+        let bubbles = h.bubbles();
+        assert_eq!(bubbles.len(), 2);
+        assert_eq!(h.total(), 3);
+        let big = bubbles.iter().find(|b| b.count == 2).unwrap();
+        assert_eq!((big.x_bin, big.y_bin), (2, 2));
+    }
+
+    #[test]
+    fn bubble_cell_center() {
+        let h = BubbleHistogram::new(1000.0, 4000.0);
+        assert_eq!(h.cell_center(2, 2), (2500.0, 10000.0));
+        assert_eq!(h.cell_center(-1, 0), (-500.0, 2000.0));
+    }
+
+    #[test]
+    fn concentration_measures_clustering() {
+        let mut clustered = BubbleHistogram::new(1.0, 1.0);
+        for _ in 0..90 {
+            clustered.add(0.5, 0.5);
+        }
+        for i in 0..10 {
+            clustered.add(10.0 + i as f64, 10.0);
+        }
+        // Top-1 cell holds 90% of observations.
+        assert!((clustered.concentration(1) - 0.9).abs() < 1e-12);
+        assert!((clustered.concentration(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_of_empty_histogram_is_zero() {
+        let h = BubbleHistogram::new(1.0, 1.0);
+        assert_eq!(h.concentration(3), 0.0);
+    }
+}

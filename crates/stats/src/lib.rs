@@ -1,0 +1,38 @@
+//! Statistics substrate for the Osprey full-system simulation accelerator.
+//!
+//! This crate implements the statistical machinery the paper relies on:
+//!
+//! * [`streaming`] — single-pass (Welford) mean / variance / coefficient of
+//!   variation accumulators used to characterize OS-service behavior points.
+//! * [`binomial`] — the binomial capture-probability analysis (paper
+//!   Eq. 1–3) that sizes the initial learning window, reproduced in Fig. 7.
+//! * [`student_t`] — Student's t upper confidence bounds (paper Eq. 4–8)
+//!   driving the *Statistical* re-learning strategy.
+//! * [`histogram`] — plain and bubble histograms (the paper's Fig. 5).
+//! * [`summary`] — batch descriptive statistics and normalization helpers
+//!   used by the figure/table regenerators.
+//!
+//! # Examples
+//!
+//! Sizing the initial learning window exactly as the paper does
+//! (p_min = 3 %, 95 % degree of confidence — which yields a window of
+//! roughly 100 invocations):
+//!
+//! ```
+//! use osprey_stats::binomial::learning_window;
+//!
+//! let n = learning_window(0.03, 0.95).expect("valid parameters");
+//! assert!((95..=105).contains(&n));
+//! ```
+
+pub mod binomial;
+pub mod histogram;
+pub mod streaming;
+pub mod student_t;
+pub mod summary;
+
+pub use binomial::{capture_probability, learning_window};
+pub use histogram::{BubbleHistogram, Histogram};
+pub use streaming::Streaming;
+pub use student_t::{t_critical_one_sided, upper_confidence_bound};
+pub use summary::{coefficient_of_variation, geometric_mean, mean, std_dev};

@@ -1,0 +1,274 @@
+//! Single-pass streaming moments (Welford's algorithm).
+//!
+//! Every OS-service cluster in the Performance Lookup Table keeps a
+//! [`Streaming`] accumulator per metric (cycles, IPC, cache misses) so that
+//! centroids and ranges can be updated in O(1) as new instances are added
+//! during learning, exactly as the paper's scaled clusters require.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean / variance / extrema accumulator.
+///
+/// Uses Welford's numerically-stable single-pass update. Two accumulators
+/// can be [merged](Streaming::merge) (Chan et al. parallel variant), which
+/// the simulator uses when folding per-interval statistics into per-service
+/// statistics.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::Streaming;
+///
+/// let mut s = Streaming::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Streaming {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Streaming {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Streaming {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one.
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// pushed all observations of both accumulators into a single one.
+    pub fn merge(&mut self, other: &Streaming) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` when no observation has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Smallest observation.
+    ///
+    /// Returns `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation.
+    ///
+    /// Returns `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.count as f64
+    }
+
+    /// Population variance (divides by `n`; 0 when fewer than 2 samples).
+    pub fn population_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`; 0 when fewer than 2 samples).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Coefficient of variation: population standard deviation divided by
+    /// the mean.
+    ///
+    /// This is the cluster-uniformity metric the paper uses in Fig. 6.
+    /// Returns 0 when the mean is 0 or fewer than two samples exist.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.population_std_dev() / self.mean.abs()
+        }
+    }
+}
+
+impl FromIterator<f64> for Streaming {
+    /// Creates an accumulator seeded with the values of `iter`.
+    ///
+    /// ```
+    /// use osprey_stats::Streaming;
+    /// let s = Streaming::from_iter([1.0, 2.0, 3.0]);
+    /// assert_eq!(s.mean(), 2.0);
+    /// ```
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<f64> for Streaming {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_accumulator_reports_zeroes() {
+        let s = Streaming::new();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let mut s = Streaming::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+    }
+
+    #[test]
+    fn matches_textbook_values() {
+        let s = Streaming::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential_push() {
+        let all: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let mut whole = Streaming::new();
+        whole.extend(all.iter().copied());
+
+        let mut a = Streaming::new();
+        let mut b = Streaming::new();
+        a.extend(all[..37].iter().copied());
+        b.extend(all[37..].iter().copied());
+        a.merge(&b);
+
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.sample_variance() - whole.sample_variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s = Streaming::from_iter([1.0, 2.0, 3.0]);
+        let before = s;
+        s.merge(&Streaming::new());
+        assert_eq!(s, before);
+
+        let mut e = Streaming::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn cv_is_relative_dispersion() {
+        // Same relative spread at different scales gives the same CV.
+        let small = Streaming::from_iter([9.0, 10.0, 11.0]);
+        let large = Streaming::from_iter([90.0, 100.0, 110.0]);
+        assert!((small.cv() - large.cv()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_of_constant_data_is_zero() {
+        let s = Streaming::from_iter([5.0; 10]);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn sum_matches_mean_times_count() {
+        let s = Streaming::from_iter([1.5, 2.5, 3.0]);
+        assert!((s.sum() - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! Student's t confidence bounds for the *Statistical* re-learning strategy.
+//!
+//! The paper (Eq. 4–8) collects a list of estimated probabilities of
+//! occurrence (EPOs) for each outlier cluster and uses a one-sided
+//! Student's t upper confidence bound to decide whether the cluster's true
+//! occurrence probability might exceed `p_min`:
+//!
+//! ```text
+//! B_y = p̄_y + t_(m-1, α) * S_(p_y) / sqrt(m)
+//! ```
+//!
+//! Re-learning triggers when `B_y >= p_min` (the strategy cannot rule out
+//! that the cluster is important).
+
+/// One-sided critical values `t_(df, 0.05)` (95 % confidence level) for
+/// degrees of freedom 1..=30.
+const T_05: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+
+/// One-sided critical values `t_(df, 0.01)` (99 % confidence level) for
+/// degrees of freedom 1..=30.
+#[allow(clippy::approx_constant)] // 2.718 is t(11, 0.01), not Euler's number
+const T_01: [f64; 30] = [
+    31.821, 6.965, 4.541, 3.747, 3.365, 3.143, 2.998, 2.896, 2.821, 2.764, 2.718, 2.681, 2.650,
+    2.624, 2.602, 2.583, 2.567, 2.552, 2.539, 2.528, 2.518, 2.508, 2.500, 2.492, 2.485, 2.479,
+    2.473, 2.467, 2.462, 2.457,
+];
+
+/// Asymptotic (normal) critical values for df > 30.
+const Z_05: f64 = 1.645;
+const Z_01: f64 = 2.326;
+
+/// Returns the one-sided Student's t critical value `t_(df, alpha)`.
+///
+/// Only the two confidence levels the paper uses are tabulated:
+/// `alpha = 0.05` (95 %) and `alpha = 0.01` (99 %). Degrees of freedom above
+/// 30 fall back to the normal approximation.
+///
+/// # Panics
+///
+/// Panics if `df == 0` or `alpha` is not one of the supported levels.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::student_t::t_critical_one_sided;
+///
+/// // With m = 4 EPOs the paper uses df = 3.
+/// assert!((t_critical_one_sided(3, 0.05) - 2.353).abs() < 1e-9);
+/// ```
+pub fn t_critical_one_sided(df: u64, alpha: f64) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    let (table, z) = if (alpha - 0.05).abs() < 1e-9 {
+        (&T_05, Z_05)
+    } else if (alpha - 0.01).abs() < 1e-9 {
+        (&T_01, Z_01)
+    } else {
+        panic!("unsupported alpha {alpha}; use 0.05 or 0.01");
+    };
+    if df <= 30 {
+        table[(df - 1) as usize]
+    } else {
+        z
+    }
+}
+
+/// One-sided upper confidence bound on the true mean of `samples`
+/// (the paper's `B_y`, Eq. 8).
+///
+/// Returns `None` when fewer than two samples are supplied (the bound is
+/// statistically meaningless; the paper additionally waits for four EPOs
+/// before acting on it).
+///
+/// # Examples
+///
+/// ```
+/// use osprey_stats::student_t::upper_confidence_bound;
+///
+/// let epos = [0.02, 0.05, 0.04, 0.05];
+/// let b = upper_confidence_bound(&epos, 0.05).unwrap();
+/// assert!(b > 0.04 && b < 0.08);
+/// ```
+pub fn upper_confidence_bound(samples: &[f64], alpha: f64) -> Option<f64> {
+    let m = samples.len();
+    if m < 2 {
+        return None;
+    }
+    let mean = samples.iter().sum::<f64>() / m as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (m - 1) as f64;
+    let t = t_critical_one_sided((m - 1) as u64, alpha);
+    Some(mean + t * var.sqrt() / (m as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_values_are_decreasing_in_df() {
+        for df in 1..30 {
+            assert!(t_critical_one_sided(df, 0.05) > t_critical_one_sided(df + 1, 0.05));
+            assert!(t_critical_one_sided(df, 0.01) > t_critical_one_sided(df + 1, 0.01));
+        }
+    }
+
+    #[test]
+    fn large_df_uses_normal_approximation() {
+        assert_eq!(t_critical_one_sided(31, 0.05), 1.645);
+        assert_eq!(t_critical_one_sided(1000, 0.01), 2.326);
+    }
+
+    #[test]
+    fn ninety_nine_is_stricter_than_ninety_five() {
+        for df in [1, 3, 10, 30, 100] {
+            assert!(t_critical_one_sided(df, 0.01) > t_critical_one_sided(df, 0.05));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn zero_df_panics() {
+        t_critical_one_sided(0, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported alpha")]
+    fn unsupported_alpha_panics() {
+        t_critical_one_sided(3, 0.10);
+    }
+
+    #[test]
+    fn bound_exceeds_sample_mean_when_data_varies() {
+        let samples = [0.02, 0.03, 0.04, 0.05];
+        let mean = 0.035;
+        let b = upper_confidence_bound(&samples, 0.05).unwrap();
+        assert!(b > mean);
+    }
+
+    #[test]
+    fn bound_equals_mean_for_constant_data() {
+        let samples = [0.03; 5];
+        let b = upper_confidence_bound(&samples, 0.05).unwrap();
+        assert!((b - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_requires_two_samples() {
+        assert_eq!(upper_confidence_bound(&[], 0.05), None);
+        assert_eq!(upper_confidence_bound(&[0.03], 0.05), None);
+        assert!(upper_confidence_bound(&[0.03, 0.04], 0.05).is_some());
+    }
+
+    #[test]
+    fn rare_cluster_stays_below_pmin() {
+        // Consistently tiny EPOs: the bound should stay below p_min = 3%,
+        // so Statistical re-learning would *not* trigger.
+        let epos = [0.005, 0.004, 0.006, 0.005];
+        let b = upper_confidence_bound(&epos, 0.05).unwrap();
+        assert!(b < 0.03);
+    }
+
+    #[test]
+    fn frequent_cluster_exceeds_pmin() {
+        // EPOs hovering near 8%: the bound must exceed p_min = 3%,
+        // so Statistical re-learning would trigger.
+        let epos = [0.07, 0.09, 0.08, 0.08];
+        let b = upper_confidence_bound(&epos, 0.05).unwrap();
+        assert!(b > 0.03);
+    }
+}

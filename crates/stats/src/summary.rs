@@ -1,0 +1,188 @@
+//! Batch descriptive statistics and normalization helpers used by the
+//! figure/table regenerators.
+
+/// Arithmetic mean of `values` (0 for an empty slice).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(osprey_stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(osprey_stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation of `values` (0 for fewer than 2 samples).
+///
+/// # Examples
+///
+/// ```
+/// let sd = osprey_stats::std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert!((sd - 2.0).abs() < 1e-12);
+/// ```
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Coefficient of variation: `std_dev / mean` (0 when the mean is 0).
+///
+/// The cluster-uniformity metric used in the paper's Fig. 6.
+///
+/// # Examples
+///
+/// ```
+/// let cv = osprey_stats::coefficient_of_variation(&[90.0, 100.0, 110.0]);
+/// assert!(cv > 0.0 && cv < 0.1);
+/// ```
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(values) / m.abs()
+    }
+}
+
+/// Geometric mean of `values` — the aggregation the paper uses for its
+/// Table 2 speedup summary.
+///
+/// Returns 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive (the geometric mean is
+/// undefined there).
+///
+/// # Examples
+///
+/// ```
+/// let g = osprey_stats::geometric_mean(&[2.0, 8.0]);
+/// assert!((g - 4.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires strictly positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Absolute relative error `|predicted - reference| / |reference|` — the
+/// paper's accuracy metric (§6.2).
+///
+/// Returns `f64::INFINITY` when the reference is 0 but the prediction is
+/// not, and 0 when both are 0.
+///
+/// # Examples
+///
+/// ```
+/// let e = osprey_stats::summary::abs_relative_error(103.2, 100.0);
+/// assert!((e - 0.032).abs() < 1e-12);
+/// ```
+pub fn abs_relative_error(predicted: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        ((predicted - reference) / reference).abs()
+    }
+}
+
+/// Normalizes each value to the corresponding reference
+/// (`value[i] / reference[i]`), as in the paper's Fig. 1 and Fig. 8.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or any reference is 0.
+///
+/// # Examples
+///
+/// ```
+/// let n = osprey_stats::summary::normalize_to(&[50.0, 200.0], &[100.0, 100.0]);
+/// assert_eq!(n, vec![0.5, 2.0]);
+/// ```
+pub fn normalize_to(values: &[f64], reference: &[f64]) -> Vec<f64> {
+    assert_eq!(values.len(), reference.len(), "length mismatch");
+    values
+        .iter()
+        .zip(reference)
+        .map(|(v, r)| {
+            assert!(*r != 0.0, "reference value must be non-zero");
+            v / r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev_basic() {
+        assert_eq!(mean(&[10.0]), 10.0);
+        assert_eq!(std_dev(&[10.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&vals) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_scale_invariant() {
+        let a = coefficient_of_variation(&[1.0, 2.0, 3.0]);
+        let b = coefficient_of_variation(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_mean_is_zero() {
+        assert_eq!(coefficient_of_variation(&[-1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_paper_style_aggregation() {
+        // Paper Table 2: speedups 2.8, 3.1, 7.1, 2.9, 15.6 -> gmean 4.9.
+        let g = geometric_mean(&[2.8, 3.1, 7.1, 2.9, 15.6]);
+        assert!((g - 4.9).abs() < 0.1, "gmean = {g}");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn abs_relative_error_cases() {
+        assert!((abs_relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+        assert_eq!(abs_relative_error(90.0, 100.0), 0.1);
+        assert_eq!(abs_relative_error(0.0, 0.0), 0.0);
+        assert_eq!(abs_relative_error(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn normalize_to_divides_elementwise() {
+        let n = normalize_to(&[1.0, 4.0, 9.0], &[1.0, 2.0, 3.0]);
+        assert_eq!(n, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn normalize_to_checks_lengths() {
+        normalize_to(&[1.0], &[1.0, 2.0]);
+    }
+}

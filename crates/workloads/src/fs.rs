@@ -1,0 +1,158 @@
+//! Deterministic synthetic filesystem tree for the Unix-tool workloads.
+//!
+//! Stands in for the `/usr` subtree the paper's `du` and `find` commands
+//! walk: a list of directories in depth-first walk order, each holding a
+//! varying number of files with skewed sizes (most files small, a few
+//! large), all derived from a seed.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One file in the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileEntry {
+    /// Globally unique path identifier (dentry key).
+    pub path_id: u64,
+    /// File size in bytes.
+    pub size: u64,
+}
+
+/// One directory, with its files, in walk order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// Globally unique directory identifier.
+    pub dir_id: u64,
+    /// Files directly inside this directory.
+    pub files: Vec<FileEntry>,
+}
+
+/// A synthetic directory tree flattened into depth-first walk order.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_workloads::fs::FsTree;
+///
+/// let tree = FsTree::generate(7, 50, 16);
+/// assert_eq!(tree.dirs.len(), 50);
+/// assert!(tree.total_files() > 0);
+/// // Same seed, same tree.
+/// assert_eq!(tree, FsTree::generate(7, 50, 16));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsTree {
+    /// Directories in walk order.
+    pub dirs: Vec<DirEntry>,
+}
+
+impl FsTree {
+    /// Generates a tree of `num_dirs` directories with up to
+    /// `max_files_per_dir` files each.
+    ///
+    /// File sizes are skewed: roughly 80 % of files are 1–16 KiB, the rest
+    /// up to 128 KiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_dirs` or `max_files_per_dir` is 0.
+    pub fn generate(seed: u64, num_dirs: usize, max_files_per_dir: usize) -> Self {
+        assert!(num_dirs > 0 && max_files_per_dir > 0, "degenerate tree");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5f73_7973_6673_5f21);
+        let mut next_path_id = 1_000u64;
+        let dirs = (0..num_dirs)
+            .map(|d| {
+                let n_files = rng.random_range(1..=max_files_per_dir);
+                let files = (0..n_files)
+                    .map(|_| {
+                        let size = if rng.random::<f64>() < 0.8 {
+                            rng.random_range(1024..16 * 1024)
+                        } else {
+                            rng.random_range(16 * 1024..128 * 1024)
+                        };
+                        let f = FileEntry {
+                            path_id: next_path_id,
+                            size,
+                        };
+                        next_path_id += 1;
+                        f
+                    })
+                    .collect();
+                DirEntry {
+                    dir_id: d as u64 + 1,
+                    files,
+                }
+            })
+            .collect();
+        Self { dirs }
+    }
+
+    /// Total number of files in the tree.
+    pub fn total_files(&self) -> usize {
+        self.dirs.iter().map(|d| d.files.len()).sum()
+    }
+
+    /// Total bytes across all files.
+    pub fn total_bytes(&self) -> u64 {
+        self.dirs
+            .iter()
+            .flat_map(|d| &d.files)
+            .map(|f| f.size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_ids_are_unique() {
+        let tree = FsTree::generate(1, 100, 20);
+        let mut ids: Vec<u64> = tree
+            .dirs
+            .iter()
+            .flat_map(|d| d.files.iter().map(|f| f.path_id))
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn every_dir_has_at_least_one_file() {
+        let tree = FsTree::generate(2, 64, 8);
+        assert!(tree.dirs.iter().all(|d| !d.files.is_empty()));
+    }
+
+    #[test]
+    fn sizes_are_in_declared_range() {
+        let tree = FsTree::generate(3, 200, 12);
+        for d in &tree.dirs {
+            for f in &d.files {
+                assert!((1024..128 * 1024).contains(&f.size), "size {}", f.size);
+            }
+        }
+    }
+
+    #[test]
+    fn size_distribution_is_skewed_small() {
+        let tree = FsTree::generate(4, 400, 10);
+        let files: Vec<&FileEntry> = tree.dirs.iter().flat_map(|d| &d.files).collect();
+        let small = files.iter().filter(|f| f.size < 16 * 1024).count();
+        let frac = small as f64 / files.len() as f64;
+        assert!(frac > 0.7, "small-file fraction {frac}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(FsTree::generate(1, 20, 8), FsTree::generate(2, 20, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_empty_tree() {
+        FsTree::generate(1, 0, 4);
+    }
+}

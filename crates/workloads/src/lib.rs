@@ -1,0 +1,311 @@
+//! Synthetic benchmarks for the Osprey full-system simulator.
+//!
+//! Mirrors the paper's benchmark suite (§5.2):
+//!
+//! * **Web server** — [`web::AbWorkload`] models Apache driven by the
+//!   modified `ab` client: `ab-rand` (random requests over eight files of
+//!   increasing size) and `ab-seq` (requests sweep the files in sorted
+//!   size order — the adversarial input for initial learning, designed to
+//!   stress re-learning).
+//! * **Unix tools** — [`unixtools::DuWorkload`] (`du -h /usr`) and
+//!   [`unixtools::FindOdWorkload`] (`find /usr -type f -exec od {} \;`)
+//!   over a deterministic synthetic filesystem tree ([`fs::FsTree`]).
+//! * **Network** — [`net::IperfWorkload`], a socket-send loop.
+//! * **SPEC-like compute** — [`spec::SpecWorkload`] kernels standing in
+//!   for gzip, vpr, art, and swim: almost pure user-mode computation with
+//!   rare system calls.
+//!
+//! A workload is an iterator of [`WorkItem`]s: user-mode compute blocks
+//! interleaved with system-call requests. The full-system simulator
+//! executes compute blocks in user mode and expands calls through the
+//! synthetic kernel.
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_workloads::{Benchmark, WorkItem, Workload};
+//!
+//! let mut wl = Benchmark::AbRand.instantiate_scaled(42, 0.05);
+//! let items: Vec<WorkItem> = std::iter::from_fn(|| wl.next_item()).collect();
+//! assert!(items.iter().any(|i| matches!(i, WorkItem::Call(_))));
+//! assert!(items.iter().any(|i| matches!(i, WorkItem::Compute(_))));
+//! ```
+
+pub mod fs;
+pub mod net;
+pub mod spec;
+pub mod unixtools;
+pub mod web;
+
+use osprey_isa::BlockSpec;
+use osprey_os::ServiceRequest;
+use serde::{Deserialize, Serialize};
+
+/// One unit of application activity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkItem {
+    /// User-mode computation.
+    Compute(BlockSpec),
+    /// A system-call request (expanded by the kernel into an OS service
+    /// interval).
+    Call(ServiceRequest),
+}
+
+/// A source of application activity.
+///
+/// Implementations are deterministic given their construction seed.
+pub trait Workload {
+    /// Benchmark name as it appears in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Produces the next item, or `None` when the benchmark finishes.
+    fn next_item(&mut self) -> Option<WorkItem>;
+
+    /// Number of leading items that are *warm-up*: executed in full
+    /// detail but excluded from measurement, mirroring the paper's §5.2
+    /// protocol of skipping an initial region (300 HTTP requests, 4096
+    /// socket writes, 300 M instructions) before simulating.
+    fn warmup_items(&self) -> usize {
+        0
+    }
+}
+
+/// The paper's benchmark suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Apache + `ab`, random page requests.
+    AbRand,
+    /// Apache + `ab`, sequential sorted page requests.
+    AbSeq,
+    /// `du -h /usr`.
+    Du,
+    /// `find /usr -type f -exec od {} \;`.
+    FindOd,
+    /// `iperf` TCP-bandwidth client.
+    Iperf,
+    /// SPEC2000 gzip-like integer compression kernel.
+    Gzip,
+    /// SPEC2000 vpr-like place-and-route kernel.
+    Vpr,
+    /// SPEC2000 art-like neural-network kernel.
+    Art,
+    /// SPEC2000 swim-like stencil kernel.
+    Swim,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 9] = [
+        Benchmark::AbRand,
+        Benchmark::AbSeq,
+        Benchmark::Du,
+        Benchmark::FindOd,
+        Benchmark::Iperf,
+        Benchmark::Gzip,
+        Benchmark::Vpr,
+        Benchmark::Art,
+        Benchmark::Swim,
+    ];
+
+    /// The five OS-intensive benchmarks the acceleration study uses.
+    pub const OS_INTENSIVE: [Benchmark; 5] = [
+        Benchmark::AbRand,
+        Benchmark::AbSeq,
+        Benchmark::Du,
+        Benchmark::FindOd,
+        Benchmark::Iperf,
+    ];
+
+    /// Name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::AbRand => "ab-rand",
+            Benchmark::AbSeq => "ab-seq",
+            Benchmark::Du => "du",
+            Benchmark::FindOd => "find-od",
+            Benchmark::Iperf => "iperf",
+            Benchmark::Gzip => "gzip",
+            Benchmark::Vpr => "vpr",
+            Benchmark::Art => "art",
+            Benchmark::Swim => "swim",
+        }
+    }
+
+    /// `true` for the OS-intensive set.
+    pub fn is_os_intensive(self) -> bool {
+        Benchmark::OS_INTENSIVE.contains(&self)
+    }
+
+    /// Creates a fresh instance of the benchmark with default scale.
+    pub fn instantiate(self, seed: u64) -> Box<dyn Workload> {
+        self.instantiate_scaled(seed, 1.0)
+    }
+
+    /// Creates an instance scaled by `scale` (1.0 = default length).
+    ///
+    /// Used by quick tests (small scale) and by benches that want longer
+    /// runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive.
+    pub fn instantiate_scaled(self, seed: u64, scale: f64) -> Box<dyn Workload> {
+        assert!(scale > 0.0, "scale must be positive");
+        match self {
+            Benchmark::AbRand => Box::new(web::AbWorkload::random(seed, scale)),
+            Benchmark::AbSeq => Box::new(web::AbWorkload::sequential(seed, scale)),
+            Benchmark::Du => Box::new(unixtools::DuWorkload::new(seed, scale)),
+            Benchmark::FindOd => Box::new(unixtools::FindOdWorkload::new(seed, scale)),
+            Benchmark::Iperf => Box::new(net::IperfWorkload::new(seed, scale)),
+            Benchmark::Gzip => Box::new(spec::SpecWorkload::gzip(seed, scale)),
+            Benchmark::Vpr => Box::new(spec::SpecWorkload::vpr(seed, scale)),
+            Benchmark::Art => Box::new(spec::SpecWorkload::art(seed, scale)),
+            Benchmark::Swim => Box::new(spec::SpecWorkload::swim(seed, scale)),
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A workload backed by a pre-generated item list.
+///
+/// All concrete workloads pre-expand their item sequence at construction
+/// (deterministically from the seed) and drain it through
+/// [`Workload::next_item`].
+#[derive(Debug, Clone)]
+pub struct ScriptedWorkload {
+    name: &'static str,
+    items: std::collections::VecDeque<WorkItem>,
+    warmup: usize,
+}
+
+impl ScriptedWorkload {
+    /// Wraps a pre-built item sequence.
+    pub fn new(name: &'static str, items: Vec<WorkItem>) -> Self {
+        Self {
+            name,
+            items: items.into(),
+            warmup: 0,
+        }
+    }
+
+    /// Marks the first `warmup` items as the warm-up region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup` exceeds the item count.
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        assert!(warmup <= self.items.len(), "warm-up longer than workload");
+        self.warmup = warmup;
+        self
+    }
+
+    /// Items remaining.
+    pub fn remaining(&self) -> usize {
+        self.items.len()
+    }
+}
+
+impl Workload for ScriptedWorkload {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn next_item(&mut self) -> Option<WorkItem> {
+        self.items.pop_front()
+    }
+
+    fn warmup_items(&self) -> usize {
+        self.warmup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_have_unique_names() {
+        let names: std::collections::HashSet<_> =
+            Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names.len(), Benchmark::ALL.len());
+    }
+
+    #[test]
+    fn os_intensive_is_a_subset() {
+        for b in Benchmark::OS_INTENSIVE {
+            assert!(Benchmark::ALL.contains(&b));
+            assert!(b.is_os_intensive());
+        }
+        assert!(!Benchmark::Gzip.is_os_intensive());
+    }
+
+    #[test]
+    fn every_benchmark_instantiates_and_produces_items() {
+        for b in Benchmark::ALL {
+            let mut wl = b.instantiate_scaled(1, 0.05);
+            assert_eq!(wl.name(), b.name());
+            let mut count = 0u64;
+            while let Some(_item) = wl.next_item() {
+                count += 1;
+                assert!(count < 2_000_000, "workload must terminate");
+            }
+            assert!(count > 0, "{b} produced no items");
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for b in [Benchmark::AbRand, Benchmark::Du, Benchmark::Iperf] {
+            let mut a = b.instantiate_scaled(9, 0.05);
+            let mut c = b.instantiate_scaled(9, 0.05);
+            loop {
+                let x = a.next_item();
+                let y = c.next_item();
+                assert_eq!(x, y);
+                if x.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn os_intensive_workloads_are_call_heavy() {
+        for b in Benchmark::OS_INTENSIVE {
+            let mut wl = b.instantiate_scaled(3, 0.05);
+            let mut calls = 0u64;
+            let mut computes = 0u64;
+            while let Some(item) = wl.next_item() {
+                match item {
+                    WorkItem::Call(_) => calls += 1,
+                    WorkItem::Compute(_) => computes += 1,
+                }
+            }
+            assert!(calls > computes / 4, "{b}: calls={calls} computes={computes}");
+        }
+    }
+
+    #[test]
+    fn scripted_workload_drains_in_order() {
+        let items = vec![
+            WorkItem::Call(ServiceRequest::gettimeofday()),
+            WorkItem::Call(ServiceRequest::close(1)),
+        ];
+        let mut wl = ScriptedWorkload::new("test", items.clone());
+        assert_eq!(wl.remaining(), 2);
+        assert_eq!(wl.next_item(), Some(items[0]));
+        assert_eq!(wl.next_item(), Some(items[1]));
+        assert_eq!(wl.next_item(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        Benchmark::Du.instantiate_scaled(1, 0.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! SPEC2000-like compute kernels (gzip, vpr, art, swim).
+//!
+//! These stand in for the paper's application-dominated reference points:
+//! long stretches of user-mode computation with only occasional system
+//! calls (heap growth, timing). For them, application-only and
+//! full-system simulation agree closely — the paper's Fig. 1/2 baseline
+//! observation.
+
+use osprey_isa::{BlockSpec, InstrMix, MemPattern};
+use osprey_os::ServiceRequest;
+
+use crate::{ScriptedWorkload, WorkItem, Workload};
+
+const APP_CODE: u64 = 0x0080_0000;
+const APP_DATA: u64 = 0x2000_0000;
+
+/// Default user-mode instructions per SPEC-like run.
+pub const DEFAULT_INSTRUCTIONS: u64 = 24_000_000;
+
+/// Instructions per compute block (system calls can only occur between
+/// blocks, as in a real program's syscall-free inner loops).
+const BLOCK_INSTRS: u64 = 100_000;
+
+/// A SPEC2000-like kernel.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_workloads::spec::SpecWorkload;
+/// use osprey_workloads::Workload;
+///
+/// let mut wl = SpecWorkload::gzip(1, 0.01);
+/// assert_eq!(wl.name(), "gzip");
+/// assert!(wl.next_item().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpecWorkload {
+    inner: ScriptedWorkload,
+}
+
+struct KernelShape {
+    name: &'static str,
+    mix: InstrMix,
+    ws_bytes: u64,
+    sequential: bool,
+    stride: u64,
+    branch_predictability: f64,
+}
+
+impl SpecWorkload {
+    fn build(shape: KernelShape, scale: f64, data_off: u64) -> Self {
+        let total = ((DEFAULT_INSTRUCTIONS as f64 * scale) as u64).max(BLOCK_INSTRS);
+        let blocks = total / BLOCK_INSTRS;
+        let mem = if shape.sequential {
+            MemPattern::sequential(APP_DATA + data_off, shape.ws_bytes, shape.stride)
+        } else {
+            MemPattern::random(APP_DATA + data_off, shape.ws_bytes)
+        };
+        let block = BlockSpec::new(APP_CODE + data_off / 0x100, BLOCK_INSTRS)
+            .with_mix(shape.mix)
+            .with_code_footprint(8 * 1024)
+            .with_mem(mem)
+            .with_branch_predictability(shape.branch_predictability);
+        let mut items = Vec::with_capacity(blocks as usize + 16);
+        for i in 0..blocks {
+            items.push(WorkItem::Compute(block));
+            // Rare system calls, as real SPEC codes make.
+            if i % 40 == 17 {
+                items.push(WorkItem::Call(ServiceRequest::brk(192 * 1024)));
+            }
+            if i % 60 == 31 {
+                items.push(WorkItem::Call(ServiceRequest::gettimeofday()));
+            }
+        }
+        Self {
+            inner: ScriptedWorkload::new(shape.name, items),
+        }
+    }
+
+    /// gzip-like: integer compression over a cache-friendly window.
+    pub fn gzip(seed: u64, scale: f64) -> Self {
+        let _ = seed;
+        Self::build(
+            KernelShape {
+                name: "gzip",
+                mix: InstrMix::compute_int(),
+                ws_bytes: 256 * 1024,
+                sequential: true,
+                stride: 16,
+                branch_predictability: 0.9,
+            },
+            scale,
+            0,
+        )
+    }
+
+    /// vpr-like: place-and-route with pointer-heavy random access over a
+    /// multi-megabyte netlist.
+    pub fn vpr(seed: u64, scale: f64) -> Self {
+        let _ = seed;
+        Self::build(
+            KernelShape {
+                name: "vpr",
+                mix: InstrMix::compute_int(),
+                ws_bytes: 2 * 1024 * 1024,
+                sequential: false,
+                stride: 0,
+                branch_predictability: 0.8,
+            },
+            scale,
+            0x100_0000,
+        )
+    }
+
+    /// art-like: neural-network floating point over a moderate array set.
+    pub fn art(seed: u64, scale: f64) -> Self {
+        let _ = seed;
+        Self::build(
+            KernelShape {
+                name: "art",
+                mix: InstrMix::compute_fp(),
+                ws_bytes: 3 * 1024 * 1024,
+                sequential: true,
+                stride: 64,
+                branch_predictability: 0.95,
+            },
+            scale,
+            0x200_0000,
+        )
+    }
+
+    /// swim-like: streaming stencil over arrays far larger than any L2.
+    pub fn swim(seed: u64, scale: f64) -> Self {
+        let _ = seed;
+        Self::build(
+            KernelShape {
+                name: "swim",
+                mix: InstrMix::compute_fp(),
+                ws_bytes: 8 * 1024 * 1024,
+                sequential: true,
+                stride: 8,
+                branch_predictability: 0.97,
+            },
+            scale,
+            0x600_0000,
+        )
+    }
+}
+
+impl Workload for SpecWorkload {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn next_item(&mut self) -> Option<WorkItem> {
+        self.inner.next_item()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tally(mut wl: SpecWorkload) -> (u64, u64) {
+        let mut compute_instrs = 0;
+        let mut calls = 0;
+        while let Some(item) = wl.next_item() {
+            match item {
+                WorkItem::Compute(b) => compute_instrs += b.instr_count,
+                WorkItem::Call(_) => calls += 1,
+            }
+        }
+        (compute_instrs, calls)
+    }
+
+    #[test]
+    fn compute_dominates_all_kernels() {
+        for wl in [
+            SpecWorkload::gzip(1, 0.05),
+            SpecWorkload::vpr(1, 0.05),
+            SpecWorkload::art(1, 0.05),
+            SpecWorkload::swim(1, 0.05),
+        ] {
+            let (instrs, calls) = tally(wl);
+            assert!(instrs >= 1_000_000);
+            // A call at most every couple hundred thousand instructions.
+            assert!(calls * 100_000 < instrs);
+        }
+    }
+
+    #[test]
+    fn scale_controls_length() {
+        let (small, _) = tally(SpecWorkload::gzip(1, 0.05));
+        let (large, _) = tally(SpecWorkload::gzip(1, 0.2));
+        assert!(large > small * 3);
+    }
+
+    #[test]
+    fn kernels_use_distinct_data_regions() {
+        let mut regions = std::collections::HashSet::new();
+        for wl in [
+            SpecWorkload::gzip(1, 0.01),
+            SpecWorkload::vpr(1, 0.01),
+            SpecWorkload::art(1, 0.01),
+            SpecWorkload::swim(1, 0.01),
+        ] {
+            let mut wl = wl;
+            while let Some(item) = wl.next_item() {
+                if let WorkItem::Compute(b) = item {
+                    regions.insert(b.mem.base);
+                    break;
+                }
+            }
+        }
+        assert_eq!(regions.len(), 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: accelerate a full-system simulation and compare it with
+//! the detailed reference run.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use osprey::core::accel::{AccelConfig, AcceleratedSim};
+use osprey::sim::{FullSystemSim, SimConfig};
+use osprey::workloads::Benchmark;
+
+fn main() {
+    // A small iperf run on the paper's machine (ooo core, 1 MiB L2).
+    let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.25).with_seed(7);
+
+    // Reference: everything fully simulated.
+    println!("running detailed full-system simulation ...");
+    let detailed = FullSystemSim::new(cfg.clone()).run_to_completion();
+
+    // Accelerated: learn each OS service's behavior points online, then
+    // replace detailed simulation with emulation + prediction.
+    println!("running accelerated simulation ...");
+    let accel = AcceleratedSim::new(cfg, AccelConfig::default()).run();
+
+    let err = (accel.report.total_cycles as f64 - detailed.total_cycles as f64).abs()
+        / detailed.total_cycles as f64;
+
+    println!();
+    println!("detailed:    {:>12} cycles in {:?}", detailed.total_cycles, detailed.wall);
+    println!(
+        "accelerated: {:>12} cycles in {:?}",
+        accel.report.total_cycles, accel.report.wall
+    );
+    println!("prediction coverage: {:.1}%", accel.coverage() * 100.0);
+    println!("execution-time error: {:.2}%", err * 100.0);
+    println!(
+        "wall-clock speedup: {:.1}x",
+        detailed.wall.as_secs_f64() / accel.report.wall.as_secs_f64()
+    );
+    println!();
+    println!("clusters learned per OS service:");
+    for (service, clusters) in &accel.clusters_per_service {
+        println!("  {:18} {clusters}", service.name());
+    }
+}

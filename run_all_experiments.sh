@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerates every paper table and figure into results/.
+# Usage: ./run_all_experiments.sh [scale]   (default scale 1.0)
+set -e
+SCALE=${1:-1.0}
+mkdir -p results
+for bin in fig01_fullsys_vs_apponly fig02_l2_speedup_ratio fig03_service_profiles \
+           fig04_sysread_timeline fig05_sysread_bubbles fig06_cluster_cv \
+           fig07_learning_window fig08_prediction_accuracy fig09_missrate_accuracy \
+           fig10_pred_l2_speedup fig11_strategies fig12_l2_sensitivity \
+           table1_mode_slowdowns table2_speedups \
+           ablation_cluster_range ablation_pmin ablation_delayed_start ablation_pollution \
+           ablation_signature; do
+  echo "=== $bin (scale $SCALE) ==="
+  cargo run --release -q -p osprey-bench --bin "$bin" -- "$SCALE" | tee "results/$bin.txt"
+  echo
+done

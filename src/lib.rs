@@ -1,0 +1,13 @@
+//! Osprey facade crate: re-exports the whole workspace public API.
+//!
+//! See the README for an overview and `examples/` for runnable scenarios.
+
+pub use osprey_core as core;
+pub use osprey_cpu as cpu;
+pub use osprey_isa as isa;
+pub use osprey_mem as mem;
+pub use osprey_os as os;
+pub use osprey_report as report;
+pub use osprey_sim as sim;
+pub use osprey_stats as stats;
+pub use osprey_workloads as workloads;

@@ -1,0 +1,190 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! generation through detailed simulation, acceleration, and reporting.
+
+use osprey::core::accel::{AccelConfig, AcceleratedSim};
+use osprey::core::RelearnStrategy;
+use osprey::isa::ServiceId;
+use osprey::sim::{CoreModel, FullSystemSim, OsMode, SimConfig};
+use osprey::workloads::Benchmark;
+
+fn quick(b: Benchmark, scale: f64) -> SimConfig {
+    SimConfig::new(b).with_scale(scale).with_seed(11)
+}
+
+#[test]
+fn accelerated_and_detailed_execute_identical_instruction_streams() {
+    for b in [Benchmark::Iperf, Benchmark::Du] {
+        let detailed = FullSystemSim::new(quick(b, 0.05)).run_to_completion();
+        let accel = AcceleratedSim::new(quick(b, 0.05), AccelConfig::default()).run();
+        assert_eq!(
+            detailed.total_instructions, accel.report.total_instructions,
+            "{b}: emulation must preserve the functional instruction stream"
+        );
+        assert_eq!(detailed.os_instructions, accel.report.os_instructions, "{b}");
+    }
+}
+
+#[test]
+fn accelerated_cycles_stay_close_to_detailed() {
+    let detailed = FullSystemSim::new(quick(Benchmark::Iperf, 0.25)).run_to_completion();
+    let accel = AcceleratedSim::new(quick(Benchmark::Iperf, 0.25), AccelConfig::default()).run();
+    let err = (accel.report.total_cycles as f64 - detailed.total_cycles as f64).abs()
+        / detailed.total_cycles as f64;
+    assert!(err < 0.20, "execution-time error {err}");
+}
+
+#[test]
+fn os_intensive_benchmarks_have_high_os_fraction() {
+    // The paper reports 67-99% of instructions from the OS.
+    for b in Benchmark::OS_INTENSIVE {
+        let report = FullSystemSim::new(quick(b, 0.04)).run_to_completion();
+        assert!(
+            report.os_fraction() > 0.6,
+            "{b}: OS fraction {:.2}",
+            report.os_fraction()
+        );
+    }
+}
+
+#[test]
+fn spec_benchmarks_have_negligible_os_fraction() {
+    for b in [Benchmark::Gzip, Benchmark::Swim] {
+        let report = FullSystemSim::new(quick(b, 0.05)).run_to_completion();
+        assert!(
+            report.os_fraction() < 0.05,
+            "{b}: OS fraction {:.3}",
+            report.os_fraction()
+        );
+    }
+}
+
+#[test]
+fn app_only_underestimates_execution_time() {
+    let full = FullSystemSim::new(quick(Benchmark::AbRand, 0.04)).run_to_completion();
+    let app = FullSystemSim::new(quick(Benchmark::AbRand, 0.04).with_os_mode(OsMode::AppOnly))
+        .run_to_completion();
+    assert!(full.total_cycles > 3 * app.total_cycles);
+    assert!(full.l2_misses() > 10 * app.l2_misses().max(1));
+}
+
+#[test]
+fn smaller_l2_is_slower_under_full_simulation() {
+    let small =
+        FullSystemSim::new(quick(Benchmark::Iperf, 0.15).with_l2_bytes(512 * 1024))
+            .run_to_completion();
+    let large =
+        FullSystemSim::new(quick(Benchmark::Iperf, 0.15).with_l2_bytes(1024 * 1024))
+            .run_to_completion();
+    assert!(
+        small.total_cycles > large.total_cycles,
+        "512K {} vs 1M {}",
+        small.total_cycles,
+        large.total_cycles
+    );
+}
+
+#[test]
+fn coverage_ordering_matches_paper_fig11() {
+    // Best-Match never re-learns, so its coverage bounds every other
+    // strategy's from above; Eager's bounds from below.
+    let run = |s: RelearnStrategy| {
+        AcceleratedSim::new(quick(Benchmark::FindOd, 0.4), AccelConfig::with_strategy(s))
+            .run()
+    };
+    let best = run(RelearnStrategy::BestMatch);
+    let eager = run(RelearnStrategy::Eager);
+    let statistical = run(RelearnStrategy::Statistical {
+        p_min: 0.03,
+        alpha: 0.05,
+        min_epos: 4,
+    });
+    assert!(best.coverage() >= statistical.coverage());
+    assert!(statistical.coverage() >= eager.coverage());
+    assert_eq!(best.stats.relearn_events(), 0);
+}
+
+#[test]
+fn every_core_model_completes_a_run() {
+    for model in CoreModel::TABLE1 {
+        let report = FullSystemSim::new(quick(Benchmark::Du, 0.02).with_core(model))
+            .run_to_completion();
+        assert!(report.total_instructions > 0, "{model}");
+        assert!(report.total_cycles > 0, "{model}");
+    }
+    // Emulation has no cycles at all.
+    let report = FullSystemSim::new(
+        quick(Benchmark::Du, 0.02).with_core(CoreModel::Emulation),
+    )
+    .run_to_completion();
+    assert_eq!(report.total_cycles, 0);
+}
+
+#[test]
+fn interval_records_are_consistent() {
+    let report = FullSystemSim::new(quick(Benchmark::AbSeq, 0.03)).run_to_completion();
+    assert!(!report.intervals.is_empty());
+    let mut last_seq = None;
+    for r in &report.intervals {
+        // Sequence numbers strictly increase.
+        if let Some(prev) = last_seq {
+            assert!(r.seq > prev);
+        }
+        last_seq = Some(r.seq);
+        assert!(r.instructions > 0);
+        assert!(r.cycles > 0);
+        // OS intervals only contain kernel-owner cache activity.
+        assert_eq!(r.caches.l1d.app_accesses, 0);
+        assert_eq!(r.caches.l1i.app_accesses, 0);
+    }
+    let os_cycles: u64 = report.intervals.iter().map(|r| r.cycles).sum();
+    assert!(os_cycles <= report.total_cycles);
+}
+
+#[test]
+fn sys_read_exhibits_multiple_behavior_points() {
+    let report = FullSystemSim::new(quick(Benchmark::AbRand, 0.08)).run_to_completion();
+    let mut sigs: Vec<u64> = report
+        .intervals
+        .iter()
+        .filter(|r| r.service == ServiceId::SysRead)
+        .map(|r| r.instructions)
+        .collect();
+    assert!(sigs.len() > 20);
+    sigs.sort_unstable();
+    let spread = *sigs.last().unwrap() as f64 / *sigs.first().unwrap() as f64;
+    assert!(
+        spread > 1.5,
+        "sys_read instruction counts must spread across behavior points"
+    );
+}
+
+#[test]
+fn reports_are_reproducible_across_runs() {
+    let a = FullSystemSim::new(quick(Benchmark::AbSeq, 0.03)).run_to_completion();
+    let b = FullSystemSim::new(quick(Benchmark::AbSeq, 0.03)).run_to_completion();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.caches, b.caches);
+    assert_eq!(a.intervals.len(), b.intervals.len());
+
+    let c = AcceleratedSim::new(quick(Benchmark::AbSeq, 0.03), AccelConfig::default()).run();
+    let d = AcceleratedSim::new(quick(Benchmark::AbSeq, 0.03), AccelConfig::default()).run();
+    assert_eq!(c.report.total_cycles, d.report.total_cycles);
+    assert_eq!(c.coverage(), d.coverage());
+}
+
+#[test]
+fn pollution_ablation_changes_results() {
+    let with = AcceleratedSim::new(quick(Benchmark::AbRand, 0.05), AccelConfig::default()).run();
+    let without = AcceleratedSim::new(
+        quick(Benchmark::AbRand, 0.05),
+        AccelConfig {
+            pollution: false,
+            ..AccelConfig::default()
+        },
+    )
+    .run();
+    assert_ne!(
+        with.report.total_cycles, without.report.total_cycles,
+        "disabling pollution must be observable"
+    );
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use osprey::core::{Plt, ScaledCluster};
+use osprey::isa::Privilege;
+use osprey::isa::{BlockSpec, InstrMix, MemPattern};
+use osprey::mem::{Cache, CacheConfig};
+use osprey::stats::{
+    capture_probability, learning_window, upper_confidence_bound, Streaming,
+};
+
+proptest! {
+    // ---------- statistics ----------
+
+    #[test]
+    fn streaming_matches_batch_mean(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Streaming::from_iter(values.iter().copied());
+        let batch = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - batch).abs() <= 1e-6 * (1.0 + batch.abs()));
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min().unwrap(), min);
+        prop_assert_eq!(s.max().unwrap(), max);
+    }
+
+    #[test]
+    fn streaming_merge_is_order_independent(
+        a in prop::collection::vec(-1e4f64..1e4, 0..100),
+        b in prop::collection::vec(-1e4f64..1e4, 0..100),
+    ) {
+        let mut left = Streaming::from_iter(a.iter().copied());
+        left.merge(&Streaming::from_iter(b.iter().copied()));
+        let mut right = Streaming::from_iter(b.iter().copied());
+        right.merge(&Streaming::from_iter(a.iter().copied()));
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-6);
+        prop_assert!((left.sample_variance() - right.sample_variance()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn learning_window_is_sufficient_and_minimal(
+        p in 0.005f64..0.5,
+        doc in 0.5f64..0.999,
+    ) {
+        let n = learning_window(p, doc).unwrap();
+        prop_assert!(capture_probability(p, n) >= doc);
+        if n > 1 {
+            prop_assert!(capture_probability(p, n - 1) < doc);
+        }
+    }
+
+    #[test]
+    fn confidence_bound_is_at_least_the_mean(
+        samples in prop::collection::vec(0.0f64..1.0, 2..30),
+    ) {
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let bound = upper_confidence_bound(&samples, 0.05).unwrap();
+        prop_assert!(bound >= mean - 1e-12);
+    }
+
+    // ---------- scaled clusters and PLT ----------
+
+    #[test]
+    fn cluster_centroid_stays_within_member_range(
+        members in prop::collection::vec(1_000u64..1_000_000, 1..50),
+    ) {
+        let mut c = ScaledCluster::seed(members[0], 1, Default::default(), 0.05);
+        for &m in &members[1..] {
+            c.add(m, 1, &Default::default());
+        }
+        let min = *members.iter().min().unwrap() as f64;
+        let max = *members.iter().max().unwrap() as f64;
+        prop_assert!(c.centroid() >= min - 1e-9);
+        prop_assert!(c.centroid() <= max + 1e-9);
+        prop_assert_eq!(c.members(), members.len() as u64);
+    }
+
+    #[test]
+    fn cluster_match_respects_the_scaled_range(
+        centroid in 1_000u64..1_000_000,
+        delta_frac in -0.2f64..0.2,
+    ) {
+        let c = ScaledCluster::seed(centroid, 1, Default::default(), 0.05);
+        let probe = ((centroid as f64) * (1.0 + delta_frac)).max(1.0) as u64;
+        let within = (probe as f64 - centroid as f64).abs() <= 0.05 * centroid as f64;
+        prop_assert_eq!(c.matches(probe), within);
+    }
+
+    #[test]
+    fn plt_lookup_agrees_with_closest_on_matches(
+        sigs in prop::collection::vec(1_000u64..100_000, 1..40),
+        probe in 1_000u64..100_000,
+    ) {
+        let mut plt = Plt::new(0.05);
+        for &s in &sigs {
+            plt.learn(s, s * 2, &Default::default());
+        }
+        // Whenever lookup matches, the closest-centroid prediction must be
+        // the same cluster's (lookup picks the closest among matches, and
+        // anything closer would also match).
+        if let Some(a) = plt.lookup(probe) {
+            let b = plt.closest(probe).unwrap();
+            prop_assert_eq!(a, b);
+        }
+        // Learning never loses instances.
+        let total: u64 = plt.clusters().iter().map(|c| c.members()).sum();
+        prop_assert_eq!(total, sigs.len() as u64);
+    }
+
+    // ---------- caches ----------
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        addrs in prop::collection::vec(0u64..1_000_000, 1..500),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size: 2048,
+            assoc: 4,
+            line: 64,
+            hit_latency: 1,
+        });
+        for &a in &addrs {
+            cache.access(a, a % 3 == 0, Privilege::User);
+            prop_assert!(cache.valid_lines() <= 32);
+        }
+        prop_assert_eq!(cache.stats().accesses(), addrs.len() as u64);
+        prop_assert!(cache.stats().misses() <= cache.stats().accesses());
+    }
+
+    #[test]
+    fn access_makes_line_resident(addr in 0u64..1_000_000) {
+        let mut cache = Cache::new(CacheConfig::l1d());
+        cache.access(addr, false, Privilege::Kernel);
+        prop_assert!(cache.probe(addr));
+        // Same line, different byte: still resident.
+        prop_assert!(cache.probe(addr ^ 0x3f));
+    }
+
+    #[test]
+    fn pollution_preserves_occupancy_bounds(
+        misses in 0u64..200,
+        seed in 0u64..1_000,
+    ) {
+        use rand::SeedableRng;
+        let mut cache = Cache::new(CacheConfig {
+            size: 4096,
+            assoc: 4,
+            line: 64,
+            hit_latency: 1,
+        });
+        for i in 0..64u64 {
+            cache.access(i * 64, false, Privilege::User);
+        }
+        let app_before = cache.owned_lines(Privilege::User);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let displaced = cache.pollute(misses * 2, misses, &mut rng);
+        prop_assert!(displaced <= misses);
+        prop_assert_eq!(cache.owned_lines(Privilege::User), app_before - displaced);
+        prop_assert!(cache.valid_lines() <= 64);
+    }
+
+    // ---------- instruction generation ----------
+
+    #[test]
+    fn blockgen_is_deterministic_and_exact(
+        instrs in 1u64..5_000,
+        seed in 0u64..1_000,
+        footprint in 64u64..16_384,
+    ) {
+        let spec = BlockSpec::new(0x40_0000, instrs)
+            .with_code_footprint(footprint)
+            .with_mix(InstrMix::kernel_control())
+            .with_mem(MemPattern::random(0x1000_0000, 32 * 1024));
+        let a: Vec<_> = spec.generate(seed).collect();
+        let b: Vec<_> = spec.generate(seed).collect();
+        prop_assert_eq!(a.len() as u64, instrs);
+        prop_assert_eq!(&a, &b);
+        for instr in &a {
+            prop_assert!(instr.pc >= spec.base_pc);
+            prop_assert!(instr.pc < spec.base_pc + spec.code_footprint);
+            if let Some(addr) = instr.mem_addr {
+                prop_assert!(addr >= spec.mem.base);
+                prop_assert!(addr < spec.mem.base + spec.mem.footprint);
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_handling_is_a_pure_function_of_history(
+        reqs in prop::collection::vec((0u64..4, 0u64..16, 1u64..32_768), 1..60),
+    ) {
+        use osprey::os::{Kernel, ServiceRequest};
+        let mut a = Kernel::new(3);
+        let mut b = Kernel::new(3);
+        for (i, &(file, page, size)) in reqs.iter().enumerate() {
+            let req = ServiceRequest::read(file, page * 4096, size);
+            let now = i as u64 * 10_000;
+            prop_assert_eq!(a.handle(&req, now), b.handle(&req, now));
+        }
+    }
+}
