@@ -1,0 +1,21 @@
+#!/bin/sh
+# Full offline CI gate: formatting, lints, build, tests.
+# Everything runs with default features and no network access.
+set -e
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy --all-targets -- -D warnings ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test -q ==="
+cargo test -q
+
+echo "=== cargo test --workspace -q ==="
+cargo test --workspace -q
+
+echo "CI green."

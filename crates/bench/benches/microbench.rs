@@ -1,9 +1,15 @@
-//! Criterion micro-benchmarks for Osprey's hot paths: cache accesses,
-//! out-of-order core stepping, block generation, PLT lookups, and a
-//! small end-to-end accelerated run.
+//! Dependency-free micro-benchmarks for Osprey's hot paths: cache
+//! accesses, out-of-order core stepping, block generation, PLT lookups,
+//! and a small end-to-end accelerated run.
+//!
+//! The harness is a minimal `std::time::Instant` timer (warm-up pass,
+//! then a measured pass long enough to amortize clock overhead). Run
+//! with `cargo bench -q`; each line reports mean wall time per
+//! iteration. Pass a substring argument to run a subset, e.g.
+//! `cargo bench -q -- plt`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use osprey_core::accel::{AccelConfig, AcceleratedSim};
 use osprey_core::Plt;
@@ -13,82 +19,108 @@ use osprey_mem::{Hierarchy, HierarchyConfig};
 use osprey_sim::{FullSystemSim, SimConfig};
 use osprey_workloads::Benchmark;
 
-fn bench_cache_access(c: &mut Criterion) {
-    c.bench_function("hierarchy_data_access_hit", |b| {
-        let mut mem = Hierarchy::new(HierarchyConfig::default());
-        mem.data_access(0x1000, false, Privilege::User);
-        b.iter(|| black_box(mem.data_access(black_box(0x1000), false, Privilege::User)));
-    });
-    c.bench_function("hierarchy_data_access_stream", |b| {
-        let mut mem = Hierarchy::new(HierarchyConfig::default());
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(64);
-            black_box(mem.data_access(black_box(addr), false, Privilege::Kernel))
-        });
-    });
-}
+/// Minimum measured wall time per benchmark before reporting.
+const TARGET: Duration = Duration::from_millis(200);
 
-fn bench_ooo_step(c: &mut Criterion) {
-    c.bench_function("ooo_step_10k_instructions", |b| {
-        let spec = BlockSpec::new(0x40_0000, 10_000);
-        b.iter(|| {
-            let mut core = OooCore::new(CpuConfig::pentium4());
-            let mut mem = Hierarchy::new(HierarchyConfig::default());
-            for instr in spec.generate(1) {
-                core.step(&instr, &mut mem, Privilege::User);
-            }
-            black_box(core.cycles())
-        });
-    });
-}
-
-fn bench_block_generation(c: &mut Criterion) {
-    c.bench_function("blockgen_10k_instructions", |b| {
-        let spec = BlockSpec::new(0x40_0000, 10_000);
-        b.iter(|| black_box(spec.generate(black_box(7)).count()));
-    });
-}
-
-fn bench_plt_lookup(c: &mut Criterion) {
-    c.bench_function("plt_lookup_among_16_clusters", |b| {
-        let mut plt = Plt::new(0.05);
-        for i in 1..=16u64 {
-            plt.learn(i * 3_000, i * 6_000, &Default::default());
+/// Times `f` repeatedly until [`TARGET`] elapses and prints the mean
+/// iteration time. Skipped unless `name` contains the CLI filter.
+fn bench(filter: &str, name: &str, mut f: impl FnMut()) {
+    if !name.contains(filter) {
+        return;
+    }
+    // Warm-up: populate caches and let the first-run costs drain.
+    for _ in 0..3 {
+        f();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < TARGET {
+        for _ in 0..8 {
+            f();
         }
-        b.iter(|| black_box(plt.lookup(black_box(24_100))));
+        iters += 8;
+    }
+    let per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    let (value, unit) = if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "µs")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("{name:<34} {value:>10.3} {unit}/iter  ({iters} iters)");
+}
+
+fn bench_cache_access(filter: &str) {
+    let mut mem = Hierarchy::new(HierarchyConfig::default());
+    mem.data_access(0x1000, false, Privilege::User);
+    bench(filter, "hierarchy_data_access_hit", || {
+        black_box(mem.data_access(black_box(0x1000), false, Privilege::User));
+    });
+
+    let mut mem = Hierarchy::new(HierarchyConfig::default());
+    let mut addr = 0u64;
+    bench(filter, "hierarchy_data_access_stream", || {
+        addr = addr.wrapping_add(64);
+        black_box(mem.data_access(black_box(addr), false, Privilege::Kernel));
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
-    g.bench_function("detailed_iperf_tiny", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.01);
-            black_box(FullSystemSim::new(cfg).run_to_completion().total_cycles)
-        });
+fn bench_ooo_step(filter: &str) {
+    let spec = BlockSpec::new(0x40_0000, 10_000);
+    bench(filter, "ooo_step_10k_instructions", || {
+        let mut core = OooCore::new(CpuConfig::pentium4());
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        for instr in spec.generate(1) {
+            core.step(&instr, &mut mem, Privilege::User);
+        }
+        black_box(core.cycles());
     });
-    g.bench_function("accelerated_iperf_tiny", |b| {
-        b.iter(|| {
-            let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.01);
-            black_box(
-                AcceleratedSim::new(cfg, AccelConfig::default())
-                    .run()
-                    .report
-                    .total_cycles,
-            )
-        });
-    });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cache_access,
-    bench_ooo_step,
-    bench_block_generation,
-    bench_plt_lookup,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn bench_block_generation(filter: &str) {
+    let spec = BlockSpec::new(0x40_0000, 10_000);
+    bench(filter, "blockgen_10k_instructions", || {
+        black_box(spec.generate(black_box(7)).count());
+    });
+}
+
+fn bench_plt_lookup(filter: &str) {
+    let mut plt = Plt::new(0.05);
+    for i in 1..=16u64 {
+        plt.learn(i * 3_000, i * 6_000, &Default::default());
+    }
+    bench(filter, "plt_lookup_among_16_clusters", || {
+        black_box(plt.lookup(black_box(24_100)));
+    });
+}
+
+fn bench_end_to_end(filter: &str) {
+    bench(filter, "detailed_iperf_tiny", || {
+        let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.01);
+        black_box(FullSystemSim::new(cfg).run_to_completion().total_cycles);
+    });
+    bench(filter, "accelerated_iperf_tiny", || {
+        let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.01);
+        black_box(
+            AcceleratedSim::new(cfg, AccelConfig::default())
+                .run()
+                .report
+                .total_cycles,
+        );
+    });
+}
+
+fn main() {
+    // `cargo bench` passes `--bench`; treat the first non-flag argument
+    // as a name filter, matching criterion's CLI convention.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_default();
+    bench_cache_access(&filter);
+    bench_ooo_step(&filter);
+    bench_block_generation(&filter);
+    bench_plt_lookup(&filter);
+    bench_end_to_end(&filter);
+}

@@ -25,17 +25,15 @@ fn main() {
             .collect();
         println!("{}", scatter(&pts, 100, 18));
         // Emit the raw series as CSV for external plotting.
-        let rows: Vec<Vec<String>> = std::iter::once(vec![
-            "invocation".to_string(),
-            "cycles".to_string(),
-        ])
-        .chain(
-            series
-                .iter()
-                .enumerate()
-                .map(|(i, c)| vec![i.to_string(), c.to_string()]),
-        )
-        .collect();
+        let rows: Vec<Vec<String>> =
+            std::iter::once(vec!["invocation".to_string(), "cycles".to_string()])
+                .chain(
+                    series
+                        .iter()
+                        .enumerate()
+                        .map(|(i, c)| vec![i.to_string(), c.to_string()]),
+                )
+                .collect();
         let path = format!("fig04_{}.csv", b.name());
         std::fs::write(&path, osprey_report::to_csv(&rows)).expect("write csv");
         println!("(raw series written to {path})\n");

@@ -57,9 +57,7 @@ fn main() {
                     .iter()
                     .enumerate()
                     .filter(|(_, c)| c.matches(sig))
-                    .min_by(|(_, a), (_, b)| {
-                        a.distance(sig).partial_cmp(&b.distance(sig)).unwrap()
-                    })
+                    .min_by(|(_, a), (_, b)| a.distance(sig).partial_cmp(&b.distance(sig)).unwrap())
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 groups.entry(idx).or_default().push(r.ipc());

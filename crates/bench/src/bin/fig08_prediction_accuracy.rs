@@ -5,7 +5,9 @@
 //! Paper reference: average absolute error 3.2%, worst case 4.2% (du);
 //! application-only errors reach 39.8%.
 
-use osprey_bench::{accelerated, app_only, detailed, fmt2, scale_from_args, statistical, L2_DEFAULT};
+use osprey_bench::{
+    accelerated, app_only, detailed, fmt2, scale_from_args, statistical, L2_DEFAULT,
+};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 

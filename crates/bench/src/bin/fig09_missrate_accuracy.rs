@@ -29,10 +29,7 @@ fn main() {
             (full.l1d_miss_rate(), accel.report.l1d_miss_rate()),
             (full.l2_miss_rate(), accel.report.l2_miss_rate()),
         ];
-        let maxdiff = rows
-            .iter()
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let maxdiff = rows.iter().map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         t.row([
             b.name().to_string(),
             format!("{:.2}%", rows[0].0 * 100.0),

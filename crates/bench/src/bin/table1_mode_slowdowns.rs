@@ -18,7 +18,10 @@ fn main() {
     println!("Table 1: measured per-instruction slowdown of simulation modes\n");
     let s = measure_mode_slowdowns(Benchmark::AbRand, 1, scale);
     let mut t = Table::new(["mode", "slowdown (x)"]);
-    t.row(["emulation (fast-forward)", format!("{:.2}", s.emulation).as_str()]);
+    t.row([
+        "emulation (fast-forward)",
+        format!("{:.2}", s.emulation).as_str(),
+    ]);
     t.row(["inorder-nocache", "1.00"]);
     t.row(["inorder-cache", format!("{:.2}", s.inorder_cache).as_str()]);
     t.row(["ooo-nocache", format!("{:.2}", s.ooo_nocache).as_str()]);

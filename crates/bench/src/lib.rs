@@ -116,7 +116,9 @@ pub fn pct(v: f64) -> String {
 
 /// Absolute relative error as a percentage string.
 pub fn err_pct(measured: f64, reference: f64) -> String {
-    pct(osprey_stats::summary::abs_relative_error(measured, reference))
+    pct(osprey_stats::summary::abs_relative_error(
+        measured, reference,
+    ))
 }
 
 #[cfg(test)]

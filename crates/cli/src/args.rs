@@ -44,7 +44,10 @@ impl std::fmt::Display for ArgError {
                 key,
                 value,
                 expected,
-            } => write!(f, "invalid value `{value}` for --{key}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value `{value}` for --{key}: expected {expected}"
+            ),
         }
     }
 }
@@ -210,7 +213,10 @@ mod tests {
 
     #[test]
     fn strategy_names_resolve() {
-        assert_eq!(strategy_by_name("best-match"), Some(RelearnStrategy::BestMatch));
+        assert_eq!(
+            strategy_by_name("best-match"),
+            Some(RelearnStrategy::BestMatch)
+        );
         assert_eq!(strategy_by_name("eager"), Some(RelearnStrategy::Eager));
         assert!(matches!(
             strategy_by_name("delayed"),

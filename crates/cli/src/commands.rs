@@ -28,6 +28,14 @@ COMMANDS:
                  (same options as run)
     window     learning-window calculator (paper Eq. 3 / Fig. 7)
                  --pmin <f>  (default 0.03)   --doc <f>  (default 0.95)
+    verify     static program verification (privilege bracketing, spec
+               well-formedness, dead blocks, interval bounds)
+                 --benchmark <name>   verify one benchmark (default iperf)
+                 --scale <f>          workload scale (default 0.1)
+                 --seed <n>           master seed (default 1)
+                 --fixture <name>     verify a broken fixture instead
+                 --fixture all        run every broken fixture
+                 --format table|csv   diagnostics output (default table)
     list       list available benchmarks
     help       this text
 "
@@ -58,12 +66,24 @@ fn render_report(report: &RunReport) -> String {
     t.row(["instructions", &report.total_instructions.to_string()]);
     t.row(["  user", &report.user_instructions.to_string()]);
     t.row(["  OS", &report.os_instructions.to_string()]);
-    t.row(["OS fraction", &format!("{:.1}%", report.os_fraction() * 100.0)]);
+    t.row([
+        "OS fraction",
+        &format!("{:.1}%", report.os_fraction() * 100.0),
+    ]);
     t.row(["cycles", &report.total_cycles.to_string()]);
     t.row(["IPC", &format!("{:.3}", report.ipc())]);
-    t.row(["L1I miss rate", &format!("{:.2}%", report.l1i_miss_rate() * 100.0)]);
-    t.row(["L1D miss rate", &format!("{:.2}%", report.l1d_miss_rate() * 100.0)]);
-    t.row(["L2 miss rate", &format!("{:.2}%", report.l2_miss_rate() * 100.0)]);
+    t.row([
+        "L1I miss rate",
+        &format!("{:.2}%", report.l1i_miss_rate() * 100.0),
+    ]);
+    t.row([
+        "L1D miss rate",
+        &format!("{:.2}%", report.l1d_miss_rate() * 100.0),
+    ]);
+    t.row([
+        "L2 miss rate",
+        &format!("{:.2}%", report.l2_miss_rate() * 100.0),
+    ]);
     t.row(["OS intervals", &report.intervals.len().to_string()]);
     t.row(["wall time", &format!("{:.2?}", report.wall)]);
     t.render()
@@ -78,9 +98,7 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
         .unwrap_or("detailed");
     let report = match mode {
         "detailed" => FullSystemSim::new(cfg).run_to_completion(),
-        "app-only" => {
-            FullSystemSim::new(cfg.with_os_mode(OsMode::AppOnly)).run_to_completion()
-        }
+        "app-only" => FullSystemSim::new(cfg.with_os_mode(OsMode::AppOnly)).run_to_completion(),
         "accelerated" => {
             let strategy = parsed.strategy()?;
             let out = AcceleratedSim::new(cfg, AccelConfig::with_strategy(strategy)).run();
@@ -146,7 +164,14 @@ fn cmd_compare(parsed: &ParsedArgs) -> Result<String, ArgError> {
 fn cmd_services(parsed: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = sim_config(parsed)?;
     let report = FullSystemSim::new(cfg).run_to_completion();
-    let mut t = Table::new(["service", "count", "mean instr", "mean cycles", "stddev", "mean IPC"]);
+    let mut t = Table::new([
+        "service",
+        "count",
+        "mean instr",
+        "mean cycles",
+        "stddev",
+        "mean IPC",
+    ]);
     for s in report.service_summaries() {
         t.row([
             s.service.name().to_string(),
@@ -175,6 +200,77 @@ fn cmd_window(parsed: &ParsedArgs) -> Result<String, ArgError> {
             value: format!("{p_min}/{doc}"),
             expected: "pmin in (0,1], doc in (0,1)",
         }),
+    }
+}
+
+fn render_diagnostics(diags: &[osprey_report::Diagnostic], format: &str) -> String {
+    if format == "csv" {
+        osprey_report::diagnostics_csv(diags)
+    } else {
+        osprey_report::diagnostics_table(diags).render()
+    }
+}
+
+fn cmd_verify(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let format = parsed
+        .options
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("table");
+    if !matches!(format, "table" | "csv") {
+        return Err(ArgError::Invalid {
+            key: "format".into(),
+            value: format.to_string(),
+            expected: "table or csv",
+        });
+    }
+
+    if let Some(raw) = parsed.options.get("fixture") {
+        let fixtures: Vec<&osprey_verify::fixtures::Fixture> = if raw == "all" {
+            osprey_verify::fixtures::ALL.iter().collect()
+        } else {
+            let fixture =
+                osprey_verify::fixtures::by_name(raw).ok_or_else(|| ArgError::Invalid {
+                    key: "fixture".into(),
+                    value: raw.clone(),
+                    expected: "`all` or a fixture name (see `osprey verify --fixture all`)",
+                })?;
+            vec![fixture]
+        };
+        let mut out = String::new();
+        for f in fixtures {
+            let diags = osprey_verify::verify(&(f.build)());
+            out.push_str(&format!(
+                "fixture {} (expects {}):\n{}\n",
+                f.name,
+                f.expected_code,
+                render_diagnostics(&diags, format)
+            ));
+        }
+        return Ok(out);
+    }
+
+    let benchmark = parsed.benchmark()?;
+    let scale = parsed.get_parsed("scale", 0.1, "a positive number")?;
+    let seed = parsed.get_parsed("seed", 1u64, "an integer")?;
+    if scale <= 0.0 {
+        return Err(ArgError::Invalid {
+            key: "scale".into(),
+            value: scale.to_string(),
+            expected: "a positive number",
+        });
+    }
+    let diags = osprey_verify::verify_benchmark(benchmark, seed, scale);
+    if diags.is_empty() {
+        Ok(format!(
+            "{benchmark}: ok (no diagnostics at scale {scale}, seed {seed})\n"
+        ))
+    } else {
+        Ok(format!(
+            "{benchmark}: {} diagnostic(s)\n{}",
+            diags.len(),
+            render_diagnostics(&diags, format)
+        ))
     }
 }
 
@@ -213,6 +309,7 @@ pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "compare" => cmd_compare(parsed),
         "services" => cmd_services(parsed),
         "window" => cmd_window(parsed),
+        "verify" => cmd_verify(parsed),
         "list" => Ok(cmd_list()),
         "help" | "--help" | "-h" => Ok(help_text()),
         other => Err(ArgError::Unexpected(other.to_string())),
@@ -276,6 +373,34 @@ mod tests {
     fn services_lists_kernel_services() {
         let out = run(&["services", "--benchmark", "du", "--scale", "0.05"]).unwrap();
         assert!(out.contains("sys_lstat64"));
+    }
+
+    #[test]
+    fn verify_passes_clean_benchmarks() {
+        let out = run(&["verify", "--benchmark", "du", "--scale", "0.05"]).unwrap();
+        assert!(out.contains("du: ok"), "{out}");
+    }
+
+    #[test]
+    fn verify_flags_each_fixture_with_its_code() {
+        let out = run(&["verify", "--fixture", "all"]).unwrap();
+        for f in osprey_verify::fixtures::ALL {
+            assert!(out.contains(f.name), "missing fixture {}", f.name);
+            assert!(out.contains(f.expected_code), "missing {}", f.expected_code);
+        }
+    }
+
+    #[test]
+    fn verify_emits_csv_diagnostics() {
+        let out = run(&["verify", "--fixture", "zero-budget", "--format", "csv"]).unwrap();
+        assert!(out.contains("code,severity,location,message"), "{out}");
+        assert!(out.contains("OSPV011"), "{out}");
+    }
+
+    #[test]
+    fn verify_rejects_unknown_fixture() {
+        let err = run(&["verify", "--fixture", "nope"]).unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
     }
 
     #[test]

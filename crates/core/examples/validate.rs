@@ -1,3 +1,7 @@
+//! Cross-validates the accelerated simulator against detailed mode for
+//! every OS-intensive benchmark, printing coverage and cycle error per
+//! re-learning strategy.
+
 use osprey_core::accel::{AccelConfig, AcceleratedSim};
 use osprey_core::RelearnStrategy;
 use osprey_sim::{FullSystemSim, SimConfig};
@@ -10,12 +14,20 @@ fn main() {
         let t = std::time::Instant::now();
         let detailed = FullSystemSim::new(cfg.clone()).run_to_completion();
         let dt = t.elapsed().as_secs_f64();
-        print!("{:8} detailed: cycles={:>12} ({:.0}s) | ", b, detailed.total_cycles, dt);
+        print!(
+            "{:8} detailed: cycles={:>12} ({:.0}s) | ",
+            b, detailed.total_cycles, dt
+        );
         for strat in RelearnStrategy::ALL {
             let out = AcceleratedSim::new(cfg.clone(), AccelConfig::with_strategy(strat)).run();
             let err = (out.report.total_cycles as f64 - detailed.total_cycles as f64).abs()
                 / detailed.total_cycles as f64;
-            print!("{}: cov={:.0}% err={:.1}% | ", strat.name(), out.coverage()*100.0, err*100.0);
+            print!(
+                "{}: cov={:.0}% err={:.1}% | ",
+                strat.name(),
+                out.coverage() * 100.0,
+                err * 100.0
+            );
         }
         println!();
     }

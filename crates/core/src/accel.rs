@@ -219,7 +219,8 @@ mod tests {
 
     #[test]
     fn accelerated_run_covers_most_iperf_invocations() {
-        let outcome = AcceleratedSim::new(quick(Benchmark::Iperf, 0.5), AccelConfig::default()).run();
+        let outcome =
+            AcceleratedSim::new(quick(Benchmark::Iperf, 0.5), AccelConfig::default()).run();
         // iperf is the most repetitive workload: coverage should be high
         // once the ~105-instance warm-up+learning completes.
         assert!(
@@ -238,8 +239,7 @@ mod tests {
             / detailed.total_cycles as f64;
         assert!(err < 0.15, "execution-time error {err}");
         assert_eq!(
-            accel.report.total_instructions,
-            detailed.total_instructions,
+            accel.report.total_instructions, detailed.total_instructions,
             "functional instruction stream must be identical"
         );
     }

@@ -9,7 +9,6 @@
 use osprey_mem::{CacheStats, HierarchySnapshot};
 use osprey_sim::IntervalRecord;
 use osprey_stats::Streaming;
-use serde::{Deserialize, Serialize};
 
 /// The fraction of the centroid that defines a cluster's range
 /// (the paper uses centroid ± 5 %).
@@ -37,7 +36,8 @@ pub struct PredictedPerf {
 /// c.add(10_400, 21_000, &Default::default());
 /// assert_eq!(c.centroid(), 10_200.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScaledCluster {
     centroid: f64,
     members: u64,
@@ -57,12 +57,7 @@ impl ScaledCluster {
     /// # Panics
     ///
     /// Panics if `range_frac` is not in `(0, 1)` or `signature` is 0.
-    pub fn seed(
-        signature: u64,
-        cycles: u64,
-        caches: HierarchySnapshot,
-        range_frac: f64,
-    ) -> Self {
+    pub fn seed(signature: u64, cycles: u64, caches: HierarchySnapshot, range_frac: f64) -> Self {
         assert!(
             range_frac > 0.0 && range_frac < 1.0,
             "range fraction must be in (0, 1)"
@@ -86,7 +81,12 @@ impl ScaledCluster {
 
     /// Creates a cluster from a simulated interval record.
     pub fn from_record(record: &IntervalRecord, range_frac: f64) -> Self {
-        Self::seed(record.instructions, record.cycles, record.caches, range_frac)
+        Self::seed(
+            record.instructions,
+            record.cycles,
+            record.caches,
+            range_frac,
+        )
     }
 
     /// Current centroid (mean member signature).

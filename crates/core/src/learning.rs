@@ -116,7 +116,9 @@ impl ServiceLearner {
     /// p_min = 3 % at 95 % confidence (~100), ±5 % clusters, EPO window
     /// W = 100.
     pub fn paper_default(strategy: RelearnStrategy) -> Self {
-        let window = learning_window(0.03, 0.95).expect("valid parameters").max(100);
+        let window = learning_window(0.03, 0.95)
+            .expect("valid parameters")
+            .max(100);
         Self::new(strategy, window, 5, 0.05, 100)
     }
 

@@ -3,10 +3,10 @@
 use std::collections::BTreeMap;
 
 use osprey_isa::ServiceId;
-use serde::{Deserialize, Serialize};
 
 /// Per-service and aggregate counts of simulated vs predicted instances.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AccelStats {
     per_service: BTreeMap<ServiceId, (u64, u64)>, // (simulated, predicted)
     relearn_events: u64,
@@ -86,7 +86,9 @@ impl AccelStats {
 
     /// Iterates `(service, simulated, predicted)` rows.
     pub fn iter(&self) -> impl Iterator<Item = (ServiceId, u64, u64)> + '_ {
-        self.per_service.iter().map(|(&s, &(sim, pred))| (s, sim, pred))
+        self.per_service
+            .iter()
+            .map(|(&s, &(sim, pred))| (s, sim, pred))
     }
 }
 

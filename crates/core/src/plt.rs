@@ -6,15 +6,14 @@
 //! estimated-probability-of-occurrence (EPO) samples the Statistical
 //! re-learning strategy tests (§4.4).
 
-use serde::{Deserialize, Serialize};
-
 use crate::cluster::{PredictedPerf, ScaledCluster};
 
 /// Bookkeeping for a signature cluster observed only as an outlier.
 ///
 /// Unlike regular PLT entries, outlier entries carry no performance
 /// numbers — the instances were never fully simulated.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct OutlierEntry {
     centroid: f64,
     members: u64,
@@ -85,7 +84,8 @@ impl OutlierEntry {
 /// assert!(plt.lookup(30_000).is_none());
 /// assert!(plt.closest(30_000).is_some());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Plt {
     clusters: Vec<ScaledCluster>,
     outliers: Vec<OutlierEntry>,
@@ -132,17 +132,15 @@ impl Plt {
 
     /// Absorbs a fully simulated instance during a learning period: added
     /// to the best matching cluster, or seeds a new cluster.
-    pub fn learn(
-        &mut self,
-        signature: u64,
-        cycles: u64,
-        caches: &osprey_mem::HierarchySnapshot,
-    ) {
+    pub fn learn(&mut self, signature: u64, cycles: u64, caches: &osprey_mem::HierarchySnapshot) {
         match self.best_matching(signature) {
             Some(idx) => self.clusters[idx].add(signature, cycles, caches),
-            None => self
-                .clusters
-                .push(ScaledCluster::seed(signature, cycles, *caches, self.range_frac)),
+            None => self.clusters.push(ScaledCluster::seed(
+                signature,
+                cycles,
+                *caches,
+                self.range_frac,
+            )),
         }
     }
 
@@ -282,7 +280,10 @@ mod tests {
         plt.learn(10_000, 100, &snap());
         let idx = plt.record_outlier(30_000, 200, 100);
         assert_eq!(plt.outliers()[idx].count(), 1);
-        assert!(plt.outliers()[idx].epos().is_empty(), "first sighting has no EPO");
+        assert!(
+            plt.outliers()[idx].epos().is_empty(),
+            "first sighting has no EPO"
+        );
         // Three more occurrences within the same window of 100.
         plt.record_outlier(30_100, 210, 100);
         plt.record_outlier(29_900, 220, 100);

@@ -7,12 +7,12 @@
 //! a new learning window.
 
 use osprey_stats::student_t::upper_confidence_bound;
-use serde::{Deserialize, Serialize};
 
 use crate::plt::OutlierEntry;
 
 /// How to react to outliers during prediction periods.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum RelearnStrategy {
     /// Never re-learn; always predict outliers from the closest cluster.
     /// Highest coverage, worst accuracy.

@@ -17,7 +17,6 @@
 
 use osprey_sim::IntervalRecord;
 use osprey_stats::Streaming;
-use serde::{Deserialize, Serialize};
 
 /// An extended behavior signature: instruction count plus instruction-mix
 /// components, all countable in emulation mode.
@@ -33,7 +32,8 @@ use serde::{Deserialize, Serialize};
 /// assert!(a.matches(&near, 0.05));
 /// assert!(!a.matches(&far, 0.05), "same length, different mix");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MixSignature {
     /// Dynamic instruction count.
     pub instructions: u64,
@@ -85,7 +85,8 @@ impl MixSignature {
 }
 
 /// A cluster in the extended-signature space.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MixCluster {
     centroid: MixSignature,
     members: u64,
@@ -106,7 +107,9 @@ impl MixCluster {
     fn add(&mut self, sig: MixSignature, cycles: u64) {
         self.members += 1;
         let blend = |c: u64, x: u64, n: u64| -> u64 {
-            (c as f64 + (x as f64 - c as f64) / n as f64).round().max(0.0) as u64
+            (c as f64 + (x as f64 - c as f64) / n as f64)
+                .round()
+                .max(0.0) as u64
         };
         self.centroid = MixSignature {
             instructions: blend(self.centroid.instructions, sig.instructions, self.members),
@@ -154,7 +157,8 @@ impl MixCluster {
 /// assert_eq!(plt.predict_cycles(&copyish), Some(9_000.0));
 /// assert_eq!(plt.predict_cycles(&ctrlish), Some(30_000.0));
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MixPlt {
     clusters: Vec<MixCluster>,
     range: f64,
@@ -253,7 +257,10 @@ mod tests {
     fn matching_requires_every_component() {
         let a = sig(10_000, 2_000, 1_000);
         assert!(a.matches(&sig(10_400, 2_080, 960), 0.05));
-        assert!(!a.matches(&sig(11_000, 2_000, 1_000), 0.05), "instructions off");
+        assert!(
+            !a.matches(&sig(11_000, 2_000, 1_000), 0.05),
+            "instructions off"
+        );
         assert!(!a.matches(&sig(10_000, 3_000, 1_000), 0.05), "loads off");
         assert!(!a.matches(&sig(10_000, 2_000, 1_200), 0.05), "branches off");
     }

@@ -153,6 +153,9 @@ mod tests {
         assert!(slow.ooo_cache >= slow.inorder_cache * 0.9);
         assert!(slow.profile_over_full() <= 1.0);
         assert!(slow.base_secs_per_instr > 0.0);
-        assert!(slow.emulation <= 1.2, "emulation must not cost more than timing");
+        assert!(
+            slow.emulation <= 1.2,
+            "emulation must not cost more than timing"
+        );
     }
 }

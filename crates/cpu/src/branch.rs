@@ -107,13 +107,15 @@ mod tests {
                 wrong_tail += 1;
             }
         }
-        assert!(wrong_tail <= 5, "alternating pattern not learned: {wrong_tail}");
+        assert!(
+            wrong_tail <= 5,
+            "alternating pattern not learned: {wrong_tail}"
+        );
     }
 
     #[test]
     fn random_branches_mispredict_often() {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = osprey_stats::rng::SmallRng::seed_from_u64(5);
         let mut bp = GsharePredictor::new(10);
         let mut wrong = 0;
         for _ in 0..1000 {
@@ -137,7 +139,10 @@ mod tests {
         }
         a.reset();
         for pc in [0x100u64, 0x200, 0x300] {
-            assert_eq!(a.predict_and_update(pc, true), b.predict_and_update(pc, true));
+            assert_eq!(
+                a.predict_and_update(pc, true),
+                b.predict_and_update(pc, true)
+            );
         }
     }
 

@@ -1,7 +1,5 @@
 //! Processor configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Microarchitectural parameters shared by the timing cores.
 ///
 /// # Examples
@@ -13,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cfg.rob_size, 126);
 /// assert_eq!(cfg.retire_width, 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: u32,

@@ -1,9 +1,8 @@
 //! Retirement and event counters.
 
-use serde::{Deserialize, Serialize};
-
 /// Monotonic event counters maintained by every timing core.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CpuCounters {
     /// Retired instructions.
     pub instructions: u64,

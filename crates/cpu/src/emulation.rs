@@ -93,6 +93,9 @@ mod tests {
             core.step(&instr, &mut mem, Privilege::User);
         }
         let snap = mem.snapshot();
-        assert_eq!(snap.l1i.accesses() + snap.l1d.accesses() + snap.l2.accesses(), 0);
+        assert_eq!(
+            snap.l1i.accesses() + snap.l1d.accesses() + snap.l2.accesses(),
+            0
+        );
     }
 }

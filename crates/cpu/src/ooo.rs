@@ -274,8 +274,11 @@ mod tests {
 
     #[test]
     fn cache_thrashing_lowers_ipc() {
-        let friendly = BlockSpec::new(0x1000, 50_000)
-            .with_mem(MemPattern::sequential(0x100_0000, 8 * 1024, 64));
+        let friendly = BlockSpec::new(0x1000, 50_000).with_mem(MemPattern::sequential(
+            0x100_0000,
+            8 * 1024,
+            64,
+        ));
         let hostile = BlockSpec::new(0x1000, 50_000)
             .with_mem(MemPattern::random(0x100_0000, 64 * 1024 * 1024));
         let (c_f, n_f) = run_block(friendly, 1);
@@ -296,7 +299,10 @@ mod tests {
         let (c_u, n_u) = run_block(unpredictable, 1);
         let ipc_p = n_p.instructions as f64 / c_p as f64;
         let ipc_u = n_u.instructions as f64 / c_u as f64;
-        assert!(ipc_p > ipc_u, "predictable {ipc_p} vs unpredictable {ipc_u}");
+        assert!(
+            ipc_p > ipc_u,
+            "predictable {ipc_p} vs unpredictable {ipc_u}"
+        );
         assert!(n_u.mispredicts > n_p.mispredicts);
     }
 

@@ -10,9 +10,7 @@
 //! detailed mode would have executed, as the paper's signature profiling
 //! requires.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use osprey_stats::rng::SmallRng;
 
 use crate::instr::{InstrClass, Instruction};
 
@@ -27,7 +25,8 @@ use crate::instr::{InstrClass, Instruction};
 /// let mix = InstrMix::balanced();
 /// assert!(mix.alu_fraction() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct InstrMix {
     /// Fraction of loads.
     pub load: f64,
@@ -186,7 +185,8 @@ impl InstrMix {
 }
 
 /// Data-access pattern over a memory region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AccessPattern {
     /// Walk the region with a fixed stride, wrapping at the footprint.
     Sequential {
@@ -198,7 +198,8 @@ pub enum AccessPattern {
 }
 
 /// A data memory region plus the pattern used to access it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemPattern {
     /// Base address of the region.
     pub base: u64,
@@ -232,7 +233,8 @@ impl MemPattern {
 ///
 /// Construct with [`BlockSpec::new`] and customize with the `with_`
 /// builder methods; expand into instructions with [`BlockSpec::generate`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockSpec {
     /// First instruction address of the block's code region.
     pub base_pc: u64,
@@ -363,8 +365,7 @@ impl Iterator for BlockGen {
             InstrClass::Load => Instruction::load(pc, self.next_data_addr()),
             InstrClass::Store => Instruction::store(pc, self.next_data_addr()),
             InstrClass::Branch => {
-                let predictable: bool =
-                    self.rng.random::<f64>() < self.spec.branch_predictability;
+                let predictable: bool = self.rng.random::<f64>() < self.spec.branch_predictability;
                 // Predictable branches are not taken (fall through, easy to
                 // predict); unpredictable ones flip a coin and jump a short
                 // distance forward within the code region.
@@ -446,7 +447,10 @@ mod tests {
     fn mix_fractions_are_respected() {
         let s = BlockSpec::new(0x1000, 200_000).with_mix(InstrMix::balanced());
         let instrs: Vec<_> = s.generate(3).collect();
-        let loads = instrs.iter().filter(|i| i.class == InstrClass::Load).count();
+        let loads = instrs
+            .iter()
+            .filter(|i| i.class == InstrClass::Load)
+            .count();
         let frac = loads as f64 / instrs.len() as f64;
         assert!((frac - 0.25).abs() < 0.02, "load fraction {frac}");
     }
@@ -466,11 +470,7 @@ mod tests {
             })
             .with_mem(MemPattern::sequential(0x20_0000, 1024, 64))
             .with_code_footprint(1 << 20);
-        let addrs: Vec<u64> = s
-            .generate(5)
-            .filter_map(|i| i.mem_addr)
-            .take(16)
-            .collect();
+        let addrs: Vec<u64> = s.generate(5).filter_map(|i| i.mem_addr).take(16).collect();
         assert_eq!(addrs[0], 0x20_0000);
         assert_eq!(addrs[1], 0x20_0040);
         // Wraps at the 1 KiB footprint.

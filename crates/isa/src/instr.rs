@@ -5,10 +5,9 @@
 //! information. Semantic execution (register values, arithmetic results)
 //! is irrelevant to the performance study and is not modeled.
 
-use serde::{Deserialize, Serialize};
-
 /// Instruction classes with distinct timing behavior.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum InstrClass {
     /// Single-cycle integer ALU operation.
@@ -47,7 +46,8 @@ impl InstrClass {
 }
 
 /// Branch outcome attached to [`InstrClass::Branch`] instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BranchInfo {
     /// Whether the branch is taken.
     pub taken: bool,
@@ -66,7 +66,8 @@ pub struct BranchInfo {
 /// assert_eq!(ld.class, InstrClass::Load);
 /// assert_eq!(ld.mem_addr, Some(0x800_0040));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Instruction {
     /// Program counter of the instruction.
     pub pc: u64,
@@ -129,7 +130,10 @@ impl Instruction {
     /// The address control flow actually continues at.
     pub fn next_pc(&self) -> u64 {
         match self.branch {
-            Some(BranchInfo { taken: true, target }) => target,
+            Some(BranchInfo {
+                taken: true,
+                target,
+            }) => target,
             _ => self.fallthrough(),
         }
     }

@@ -6,8 +6,6 @@
 //! current [`Privilege`] and tags every cache access and retired
 //! instruction with it.
 
-use serde::{Deserialize, Serialize};
-
 /// The two privilege modes the interval-detection logic distinguishes.
 ///
 /// # Examples
@@ -19,7 +17,8 @@ use serde::{Deserialize, Serialize};
 /// assert!(!Privilege::User.is_kernel());
 /// assert_eq!(Privilege::default(), Privilege::User);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Privilege {
     /// Non-privileged application mode.
     #[default]
@@ -37,6 +36,31 @@ impl Privilege {
     /// Returns `true` for [`Privilege::User`].
     pub fn is_user(self) -> bool {
         matches!(self, Privilege::User)
+    }
+
+    /// Attempts the kernel-entry transition edge (trap, interrupt, or
+    /// syscall dispatch).
+    ///
+    /// Returns the new mode, or `None` when already in kernel mode: the
+    /// machine has no nested-entry support, and the static verifier
+    /// reports `OSPV002` for programs that would need it.
+    pub fn enter_kernel(self) -> Option<Privilege> {
+        match self {
+            Privilege::User => Some(Privilege::Kernel),
+            Privilege::Kernel => None,
+        }
+    }
+
+    /// Attempts the return-to-user transition edge that closes an OS
+    /// service interval.
+    ///
+    /// Returns the new mode, or `None` when already in user mode — a
+    /// return without a matching entry (`OSPV001` in the verifier).
+    pub fn return_to_user(self) -> Option<Privilege> {
+        match self {
+            Privilege::Kernel => Some(Privilege::User),
+            Privilege::User => None,
+        }
     }
 }
 
@@ -68,5 +92,38 @@ mod tests {
     fn display_is_lowercase() {
         assert_eq!(Privilege::User.to_string(), "user");
         assert_eq!(Privilege::Kernel.to_string(), "kernel");
+    }
+
+    #[test]
+    fn entry_edge_switches_user_to_kernel() {
+        assert_eq!(Privilege::User.enter_kernel(), Some(Privilege::Kernel));
+    }
+
+    #[test]
+    fn nested_entry_edge_is_rejected() {
+        assert_eq!(Privilege::Kernel.enter_kernel(), None);
+    }
+
+    #[test]
+    fn return_edge_switches_kernel_to_user() {
+        assert_eq!(Privilege::Kernel.return_to_user(), Some(Privilege::User));
+    }
+
+    #[test]
+    fn return_without_entry_edge_is_rejected() {
+        assert_eq!(Privilege::User.return_to_user(), None);
+    }
+
+    #[test]
+    fn transition_edges_round_trip() {
+        // A well-bracketed interval walks User -> Kernel -> User.
+        let entered = Privilege::User.enter_kernel().expect("entry from user");
+        assert_eq!(entered.return_to_user(), Some(Privilege::User));
+    }
+
+    #[test]
+    fn kernel_orders_above_user() {
+        // The verifier sorts (mode, ...) walk states; keep the order stable.
+        assert!(Privilege::User < Privilege::Kernel);
     }
 }

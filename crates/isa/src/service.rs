@@ -7,8 +7,6 @@
 //! below covers every service named in the paper's Fig. 3 plus the
 //! services the synthetic Unix-tool and network workloads need.
 
-use serde::{Deserialize, Serialize};
-
 /// The type of an OS service, used to index Performance Lookup Tables.
 ///
 /// # Examples
@@ -20,7 +18,8 @@ use serde::{Deserialize, Serialize};
 /// assert!(ServiceId::IntTimer.is_interrupt());
 /// assert_eq!(ServiceId::IntTimer.name(), "Int_239");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[non_exhaustive]
 pub enum ServiceId {
     /// `sys_read` — read from a file descriptor.

@@ -2,8 +2,7 @@
 //! replacement and per-line owner tags.
 
 use osprey_isa::Privilege;
-use rand::rngs::SmallRng;
-use rand::RngExt;
+use osprey_stats::rng::SmallRng;
 
 use crate::config::CacheConfig;
 use crate::stats::CacheStats;
@@ -104,7 +103,10 @@ impl Cache {
     #[inline]
     fn decompose(&self, addr: u64) -> (usize, u64) {
         let block = addr >> self.line_shift;
-        ((block & self.set_mask) as usize, block >> self.num_sets.trailing_zeros())
+        (
+            (block & self.set_mask) as usize,
+            block >> self.num_sets.trailing_zeros(),
+        )
     }
 
     #[inline]
@@ -284,7 +286,6 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn small() -> Cache {
         // 4 sets x 2 ways x 64 B = 512 B.

@@ -1,7 +1,5 @@
 //! Cache and hierarchy configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Geometry and timing of one cache.
 ///
 /// # Examples
@@ -12,7 +10,8 @@ use serde::{Deserialize, Serialize};
 /// let l2 = CacheConfig::l2(1024 * 1024);
 /// assert_eq!(l2.num_sets(), 1024 * 1024 / (8 * 64));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size: u64,
@@ -89,7 +88,8 @@ impl CacheConfig {
 }
 
 /// Configuration of the whole memory hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchyConfig {
     /// L1 instruction cache.
     pub l1i: CacheConfig,

@@ -2,7 +2,7 @@
 //! flat memory.
 
 use osprey_isa::Privilege;
-use rand::rngs::SmallRng;
+use osprey_stats::rng::SmallRng;
 
 use crate::cache::Cache;
 use crate::config::HierarchyConfig;
@@ -140,7 +140,6 @@ impl Hierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn mem() -> Hierarchy {
         Hierarchy::new(HierarchyConfig::default())

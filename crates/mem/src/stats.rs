@@ -5,10 +5,9 @@
 //! (Fig. 9). Counters are cheap monotonically increasing totals;
 //! per-interval deltas are taken with [`CacheStats::delta`].
 
-use serde::{Deserialize, Serialize};
-
 /// Monotonic counters for one cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStats {
     /// Total accesses by user-mode (application) code.
     pub app_accesses: u64,
@@ -77,7 +76,8 @@ impl CacheStats {
 }
 
 /// A point-in-time copy of all three caches' statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HierarchySnapshot {
     /// L1 instruction cache counters.
     pub l1i: CacheStats,

@@ -1,7 +1,6 @@
 //! The expanded form of one OS service interval.
 
 use osprey_isa::{BlockSpec, ServiceId};
-use serde::{Deserialize, Serialize};
 
 /// One OS service interval, fully expanded into executable blocks.
 ///
@@ -11,7 +10,8 @@ use serde::{Deserialize, Serialize};
 /// timing core or merely count them in emulation mode — which is why the
 /// dynamic instruction count (the paper's behavior signature) is
 /// observable in both modes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServiceInvocation {
     /// The service type, which keys the Performance Lookup Table.
     pub service: ServiceId,

@@ -12,9 +12,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use osprey_isa::{BlockSpec, InstrMix, MemPattern, ServiceId};
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use osprey_stats::rng::SmallRng;
 
 use crate::invocation::ServiceInvocation;
 use crate::layout::{self, PAGE_SIZE};
@@ -22,7 +20,8 @@ use crate::request::ServiceRequest;
 use crate::state::{LruCache, SocketBuffer};
 
 /// Tunables of the synthetic kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct KernelConfig {
     /// Page-cache capacity in 4 KiB pages. The default (192 pages =
     /// 768 KiB) is deliberately smaller than the web workloads' file set
@@ -188,7 +187,8 @@ impl Kernel {
 
     /// Schedules an asynchronous interrupt `delta` instructions from `now`.
     fn schedule(&mut self, id: ServiceId, now: u64, delta: u64) {
-        self.pending.push(Reverse((now + delta, interrupt_code(id))));
+        self.pending
+            .push(Reverse((now + delta, interrupt_code(id))));
     }
 
     /// Returns the next interrupt due at or before instruction count
@@ -529,8 +529,13 @@ impl Kernel {
                     let setup = self.jitter(1_300);
                     let b = self.ctrl(id, 1, setup, 24 * 1024);
                     let n = self.jitter(size * 3 / 8);
-                    let copy =
-                        self.copy(id, 1, n.max(64), layout::service_data_base(id) + 0x2_0000, size);
+                    let copy = self.copy(
+                        id,
+                        1,
+                        n.max(64),
+                        layout::service_data_base(id) + 0x2_0000,
+                        size,
+                    );
                     self.finish(id, "recv", vec![b, copy])
                 }
             }
@@ -678,7 +683,10 @@ mod tests {
         let due = k.next_interrupt_at();
         assert!(due < u64::MAX);
         let int = k.due_interrupt(due);
-        assert!(matches!(int, Some(ServiceId::IntNic) | Some(ServiceId::IntTimer)));
+        assert!(matches!(
+            int,
+            Some(ServiceId::IntNic) | Some(ServiceId::IntTimer)
+        ));
     }
 
     #[test]
@@ -791,7 +799,10 @@ mod tests {
     fn brk_and_mmap_paths_split_on_size() {
         let mut k = kernel();
         assert_eq!(k.handle(&ServiceRequest::brk(4 * 1024), 0).path, "fast");
-        assert_eq!(k.handle(&ServiceRequest::brk(1024 * 1024), 0).path, "expand");
+        assert_eq!(
+            k.handle(&ServiceRequest::brk(1024 * 1024), 0).path,
+            "expand"
+        );
         assert_eq!(k.handle(&ServiceRequest::mmap(64 * 1024), 0).path, "map");
         assert_eq!(
             k.handle(&ServiceRequest::mmap(4 * 1024 * 1024), 0).path,
@@ -837,7 +848,10 @@ mod tests {
     #[test]
     fn socketcall_ops_select_distinct_paths() {
         let mut k = kernel();
-        assert_eq!(k.handle(&ServiceRequest::socketcall(1, 0, 0), 0).path, "accept");
+        assert_eq!(
+            k.handle(&ServiceRequest::socketcall(1, 0, 0), 0).path,
+            "accept"
+        );
         let recv = k.handle(&ServiceRequest::socketcall(1, 1, 4096), 0);
         assert!(recv.path == "recv" || recv.path == "recv_wait");
         let send = k.handle(&ServiceRequest::socketcall(1, 2, 4096), 0);

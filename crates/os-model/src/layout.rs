@@ -101,8 +101,7 @@ mod tests {
 
     #[test]
     fn kernel_regions_do_not_collide() {
-        let code_end =
-            KERNEL_CODE_BASE + ServiceId::ALL.len() as u64 * SERVICE_CODE_SPAN;
+        let code_end = KERNEL_CODE_BASE + ServiceId::ALL.len() as u64 * SERVICE_CODE_SPAN;
         assert!(code_end <= BUFFER_CACHE_BASE);
         let data_start = KERNEL_DATA_BASE;
         let pages_end = page_addr(64, 0);

@@ -1,7 +1,6 @@
 //! Application-side requests for OS services.
 
 use osprey_isa::ServiceId;
-use serde::{Deserialize, Serialize};
 
 /// A system-call request as issued by a workload.
 ///
@@ -19,7 +18,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(req.id, ServiceId::SysRead);
 /// assert_eq!(req.size, 65536);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ServiceRequest {
     /// The service being invoked.
     pub id: ServiceId,
@@ -228,12 +228,18 @@ mod tests {
         assert_eq!(ServiceRequest::open(0).id, ServiceId::SysOpen);
         assert_eq!(ServiceRequest::close(0).id, ServiceId::SysClose);
         assert_eq!(ServiceRequest::poll(1).id, ServiceId::SysPoll);
-        assert_eq!(ServiceRequest::socketcall(0, 0, 0).id, ServiceId::SysSocketcall);
+        assert_eq!(
+            ServiceRequest::socketcall(0, 0, 0).id,
+            ServiceId::SysSocketcall
+        );
         assert_eq!(ServiceRequest::stat(0).id, ServiceId::SysStat64);
         assert_eq!(ServiceRequest::lstat(0).id, ServiceId::SysLstat64);
         assert_eq!(ServiceRequest::fstat(0).id, ServiceId::SysFstat64);
         assert_eq!(ServiceRequest::fcntl(0, 0).id, ServiceId::SysFcntl64);
-        assert_eq!(ServiceRequest::gettimeofday().id, ServiceId::SysGettimeofday);
+        assert_eq!(
+            ServiceRequest::gettimeofday().id,
+            ServiceId::SysGettimeofday
+        );
         assert_eq!(ServiceRequest::ipc(0, 0).id, ServiceId::SysIpc);
         assert_eq!(ServiceRequest::getdents(0, 4).id, ServiceId::SysGetdents64);
         assert_eq!(ServiceRequest::execve(0).id, ServiceId::SysExecve);

@@ -11,8 +11,6 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 /// A capacity-bounded LRU cache over `u64` keys — the shape of the
 /// synthetic page cache and dentry cache.
 ///
@@ -29,7 +27,8 @@ use serde::{Deserialize, Serialize};
 /// assert!(!c.contains(2));
 /// assert!(c.contains(1));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LruCache {
     capacity: usize,
     /// key -> last-use stamp.
@@ -113,7 +112,8 @@ impl LruCache {
 /// sb.flush();
 /// assert!(sb.offer(12 * 1024));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SocketBuffer {
     capacity: u64,
     used: u64,

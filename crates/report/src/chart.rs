@@ -88,11 +88,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_width() {
-        let s = bar_chart(
-            "t",
-            &[("a".into(), 1.0), ("b".into(), 2.0)],
-            10,
-        );
+        let s = bar_chart("t", &[("a".into(), 1.0), ("b".into(), 2.0)], 10);
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 3);
         let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();

@@ -1,0 +1,167 @@
+//! Machine-readable diagnostics.
+//!
+//! The static verifier (`osprey-verify`) and the user-facing tools report
+//! problems as [`Diagnostic`]s: a stable error code, a severity, a
+//! location string, and a human-readable message. Keeping the type here —
+//! next to the table/CSV renderers — lets every layer (verifier, CLI,
+//! report emission itself) speak the same error language and lets scripts
+//! consume diagnostics as CSV.
+
+use crate::table::Table;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not fatal; simulation may proceed.
+    Warning,
+    /// A correctness problem; the program must not be simulated.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One verifier or tool finding.
+///
+/// # Examples
+///
+/// ```
+/// use osprey_report::{Diagnostic, Severity};
+///
+/// let d = Diagnostic::error("OSPV011", "block[2]", "instruction budget is zero");
+/// assert_eq!(d.severity, Severity::Error);
+/// assert!(d.to_string().contains("OSPV011"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (`OSPVxxx` for verifier findings,
+    /// `OSPRxxx` for report-layer errors).
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Where the problem is (block index, program name, option name, ...).
+    pub location: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(
+        code: &'static str,
+        location: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity: Severity::Warning,
+            location: location.into(),
+            message: message.into(),
+        }
+    }
+
+    /// `true` for [`Severity::Error`] diagnostics.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Renders diagnostics as an aligned table (code, severity, location,
+/// message), for terminal consumption.
+pub fn diagnostics_table(diags: &[Diagnostic]) -> Table {
+    let mut t = Table::new(["code", "severity", "location", "message"]);
+    for d in diags {
+        t.row([
+            d.code.to_string(),
+            d.severity.to_string(),
+            d.location.clone(),
+            d.message.clone(),
+        ]);
+    }
+    t
+}
+
+/// Renders diagnostics as CSV with a header row, for script consumption.
+pub fn diagnostics_csv(diags: &[Diagnostic]) -> String {
+    let mut rows = vec![vec![
+        "code".to_string(),
+        "severity".to_string(),
+        "location".to_string(),
+        "message".to_string(),
+    ]];
+    for d in diags {
+        rows.push(vec![
+            d.code.to_string(),
+            d.severity.to_string(),
+            d.location.clone(),
+            d.message.clone(),
+        ]);
+    }
+    crate::csv::to_csv(&rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_all_fields() {
+        let d = Diagnostic::warning("OSPV014", "block[0]", "memory region is empty");
+        let s = d.to_string();
+        for part in ["warning", "OSPV014", "block[0]", "memory region is empty"] {
+            assert!(s.contains(part), "missing {part} in {s}");
+        }
+    }
+
+    #[test]
+    fn severities_order_warning_below_error() {
+        assert!(Severity::Warning < Severity::Error);
+        assert!(Diagnostic::error("X", "y", "z").is_error());
+        assert!(!Diagnostic::warning("X", "y", "z").is_error());
+    }
+
+    #[test]
+    fn table_and_csv_list_every_diagnostic() {
+        let diags = vec![
+            Diagnostic::error("OSPV001", "block[1]", "return without entry"),
+            Diagnostic::warning("OSPV014", "block[2]", "empty region"),
+        ];
+        let table = diagnostics_table(&diags).render();
+        assert!(table.contains("OSPV001") && table.contains("OSPV014"));
+        let csv = diagnostics_csv(&diags);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("code,severity,location,message\n"));
+    }
+}

@@ -19,8 +19,10 @@
 
 pub mod chart;
 pub mod csv;
+pub mod diag;
 pub mod table;
 
 pub use chart::{bar_chart, scatter};
 pub use csv::to_csv;
+pub use diag::{diagnostics_csv, diagnostics_table, Diagnostic, Severity};
 pub use table::Table;

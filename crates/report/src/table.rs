@@ -1,5 +1,7 @@
 //! Aligned ASCII tables.
 
+use crate::diag::Diagnostic;
+
 /// A simple column-aligned text table.
 ///
 /// The first column is left-aligned; all other columns are
@@ -38,20 +40,41 @@ impl Table {
     ///
     /// # Panics
     ///
-    /// Panics if the row's length differs from the header's.
+    /// Panics if the row's length differs from the header's. Callers
+    /// assembling rows from untrusted input should use
+    /// [`Table::try_row`] instead.
     pub fn row<I, S>(&mut self, cells: I) -> &mut Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(
-            row.len(),
-            self.headers.len(),
-            "row width must match header width"
-        );
-        self.rows.push(row);
+        if let Err(d) = self.try_row(cells) {
+            panic!("row width must match header width: {d}");
+        }
         self
+    }
+
+    /// Appends a row, reporting a width mismatch as an `OSPR001`
+    /// [`Diagnostic`] instead of panicking.
+    pub fn try_row<I, S>(&mut self, cells: I) -> Result<&mut Self, Diagnostic>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        if row.len() != self.headers.len() {
+            return Err(Diagnostic::error(
+                "OSPR001",
+                format!("table row {}", self.rows.len()),
+                format!(
+                    "row has {} cells but the header has {} columns",
+                    row.len(),
+                    self.headers.len()
+                ),
+            ));
+        }
+        self.rows.push(row);
+        Ok(self)
     }
 
     /// Number of data rows.
@@ -130,6 +153,16 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only-one"]);
+    }
+
+    #[test]
+    fn try_row_reports_ragged_rows_as_diagnostics() {
+        let mut t = Table::new(["a", "b"]);
+        let err = t.try_row(["only-one"]).unwrap_err();
+        assert_eq!(err.code, "OSPR001");
+        assert!(err.is_error());
+        assert!(t.is_empty(), "failed row must not be recorded");
+        assert!(t.try_row(["x", "y"]).is_ok());
     }
 
     #[test]

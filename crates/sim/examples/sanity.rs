@@ -1,3 +1,7 @@
+//! Quick sanity sweep: runs every benchmark in detailed full-system and
+//! app-only modes at quarter scale and prints headline metrics (OS
+//! fraction, IPC, L2 miss behavior, simulation throughput).
+
 use osprey_sim::{FullSystemSim, OsMode, SimConfig};
 use osprey_workloads::Benchmark;
 use std::time::Instant;
@@ -8,7 +12,12 @@ fn main() {
         let cfg = SimConfig::new(b).with_scale(0.25);
         let r = FullSystemSim::new(cfg).run_to_completion();
         let dt = t.elapsed().as_secs_f64();
-        let app = FullSystemSim::new(SimConfig::new(b).with_scale(0.25).with_os_mode(OsMode::AppOnly)).run_to_completion();
+        let app = FullSystemSim::new(
+            SimConfig::new(b)
+                .with_scale(0.25)
+                .with_os_mode(OsMode::AppOnly),
+        )
+        .run_to_completion();
         println!(
             "{:8} instr={:>10} osfrac={:.2} ipc={:.3} l2mr={:.4} | app: instr={:>9} ipc={:.3} l2miss_ratio={:.1} exec_ratio={:.1} | {:.1}s {:.1}M i/s intervals={}",
             r.benchmark, r.total_instructions, r.os_fraction(), r.ipc(), r.l2_miss_rate(),

@@ -49,9 +49,7 @@ impl CoreModel {
             CoreModel::OooCache => Box::new(OooCore::new(CpuConfig::pentium4())),
             CoreModel::OooNoCache => Box::new(OooCore::new(CpuConfig::pentium4_nocache())),
             CoreModel::InOrderCache => Box::new(InOrderCore::new(CpuConfig::pentium4())),
-            CoreModel::InOrderNoCache => {
-                Box::new(InOrderCore::new(CpuConfig::pentium4_nocache()))
-            }
+            CoreModel::InOrderNoCache => Box::new(InOrderCore::new(CpuConfig::pentium4_nocache())),
             CoreModel::Emulation => Box::new(EmulationCore::new()),
         }
     }
@@ -174,7 +172,12 @@ mod tests {
         let names: Vec<_> = CoreModel::TABLE1.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            ["inorder-nocache", "inorder-cache", "ooo-nocache", "ooo-cache"]
+            [
+                "inorder-nocache",
+                "inorder-cache",
+                "ooo-nocache",
+                "ooo-cache"
+            ]
         );
     }
 

@@ -2,10 +2,10 @@
 
 use osprey_isa::ServiceId;
 use osprey_mem::HierarchySnapshot;
-use serde::{Deserialize, Serialize};
 
 /// How an interval's performance numbers were obtained.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum IntervalSource {
     /// Fully simulated on the detailed timing core.
     Simulated,
@@ -15,7 +15,8 @@ pub enum IntervalSource {
 
 /// One OS service interval: the contiguous kernel-mode instructions from
 /// a mode switch until the return to user mode (paper §3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct IntervalRecord {
     /// Service type that caused the mode switch.
     pub service: ServiceId,

@@ -6,9 +6,8 @@ use osprey_cpu::Core;
 use osprey_isa::{Privilege, ServiceId};
 use osprey_mem::{Hierarchy, HierarchySnapshot};
 use osprey_os::{Kernel, ServiceInvocation};
+use osprey_stats::rng::SmallRng;
 use osprey_workloads::{WorkItem, Workload};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use crate::config::{OsMode, SimConfig};
 use crate::interval::{IntervalRecord, IntervalSource};
@@ -55,8 +54,47 @@ pub struct FullSystemSim {
 }
 
 impl FullSystemSim {
-    /// Builds a cold machine for the given configuration.
+    /// Builds a cold machine for the given configuration, first running
+    /// the static verifier over the program the configuration expands to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if verification reports errors; use
+    /// [`FullSystemSim::try_new`] to handle diagnostics programmatically.
     pub fn new(cfg: SimConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(sim) => sim,
+            Err(diags) => panic!(
+                "program failed static verification:\n{}",
+                osprey_report::diagnostics_table(&diags).render()
+            ),
+        }
+    }
+
+    /// Builds a cold machine, rejecting configurations whose expanded
+    /// program fails static verification.
+    ///
+    /// The workload/kernel expansion is deterministic, so the verified
+    /// program is exactly the one the machine will execute. Warnings are
+    /// tolerated; any error-severity diagnostic rejects the program.
+    pub fn try_new(cfg: SimConfig) -> Result<Self, Vec<osprey_report::Diagnostic>> {
+        let mut workload = cfg.benchmark.instantiate_scaled(cfg.seed, cfg.scale);
+        let mut kernel = Kernel::with_config(cfg.kernel, cfg.seed);
+        let program = osprey_verify::program_for_workload(
+            cfg.benchmark.name(),
+            workload.as_mut(),
+            &mut kernel,
+            cfg.seed,
+        );
+        let diags = osprey_verify::verify(&program);
+        if diags.iter().any(|d| d.is_error()) {
+            return Err(diags);
+        }
+        Ok(Self::new_unverified(cfg))
+    }
+
+    /// Builds a cold machine without the load-time verification pass.
+    fn new_unverified(cfg: SimConfig) -> Self {
         let core = cfg.core.build();
         let mem = Hierarchy::new(cfg.hierarchy());
         let kernel = Kernel::with_config(cfg.kernel, cfg.seed);
@@ -390,7 +428,10 @@ mod tests {
             accel_report.total_instructions,
             detailed_report.total_instructions
         );
-        assert_eq!(accel_report.os_instructions, detailed_report.os_instructions);
+        assert_eq!(
+            accel_report.os_instructions,
+            detailed_report.os_instructions
+        );
     }
 
     #[test]
@@ -422,6 +463,16 @@ mod tests {
         // intervals cover only the measurement region.
         assert!(sim.invocations_of(ServiceId::SysRead) >= reads);
         assert!(reads > 10);
+    }
+
+    #[test]
+    fn try_new_accepts_all_shipped_benchmarks() {
+        for b in Benchmark::ALL {
+            assert!(
+                FullSystemSim::try_new(quick(b)).is_ok(),
+                "{b} must pass load-time verification"
+            );
+        }
     }
 
     #[test]

@@ -4,8 +4,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-width one-dimensional histogram over `f64` values.
 ///
 /// Bins are indexed by `floor(value / width)`, so negative values are
@@ -24,7 +22,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.count(1), 1);
 /// assert_eq!(h.total(), 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Histogram {
     width: f64,
     bins: BTreeMap<i64, u64>,
@@ -88,7 +87,8 @@ impl Histogram {
 }
 
 /// One occupied cell of a [`BubbleHistogram`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bubble {
     /// X-axis bin index (instruction bin in the paper's Fig. 5).
     pub x_bin: i64,
@@ -114,7 +114,8 @@ pub struct Bubble {
 /// assert_eq!(bubbles.len(), 1);
 /// assert_eq!(bubbles[0].count, 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BubbleHistogram {
     x_width: f64,
     y_width: f64,

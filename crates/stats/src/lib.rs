@@ -11,6 +11,9 @@
 //! * [`histogram`] — plain and bubble histograms (the paper's Fig. 5).
 //! * [`summary`] — batch descriptive statistics and normalization helpers
 //!   used by the figure/table regenerators.
+//! * [`rng`] — the workspace's seedable, dependency-free SplitMix64
+//!   generator, preserving the deterministic-replay guarantee the block
+//!   generators document without an external `rand` dependency.
 //!
 //! # Examples
 //!
@@ -27,12 +30,14 @@
 
 pub mod binomial;
 pub mod histogram;
+pub mod rng;
 pub mod streaming;
 pub mod student_t;
 pub mod summary;
 
 pub use binomial::{capture_probability, learning_window};
 pub use histogram::{BubbleHistogram, Histogram};
+pub use rng::SmallRng;
 pub use streaming::Streaming;
 pub use student_t::{t_critical_one_sided, upper_confidence_bound};
 pub use summary::{coefficient_of_variation, geometric_mean, mean, std_dev};

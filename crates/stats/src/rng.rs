@@ -1,0 +1,238 @@
+//! Dependency-free deterministic pseudo-random number generation.
+//!
+//! Osprey's acceleration argument rests on *deterministic replay*: the
+//! same `(spec, seed)` pair must expand to the identical instruction
+//! stream in detailed and emulation mode (see `osprey-isa`'s block
+//! generator). That guarantee must not depend on an external crate's
+//! version-to-version stream stability, so the workspace carries its own
+//! generator: [`SmallRng`], a [SplitMix64] core with the same calling
+//! convention the previous `rand`-based code used (`seed_from_u64`,
+//! `random`, `random_range`).
+//!
+//! SplitMix64 is a 64-bit-state mixer with a period of 2^64 that passes
+//! BigCrush; it is more than adequate for driving synthetic instruction
+//! mixes and cache-pollution victim selection, and its one-add-three-mix
+//! step is branch-free and fast.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_stats::rng::SmallRng;
+//!
+//! let mut a = SmallRng::seed_from_u64(7);
+//! let mut b = SmallRng::seed_from_u64(7);
+//! assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+//! let f: f64 = a.random();
+//! assert!((0.0..1.0).contains(&f));
+//! let n = a.random_range(10u64..20);
+//! assert!((10..20).contains(&n));
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable deterministic generator (SplitMix64).
+///
+/// Every generator in the workspace is seeded explicitly from a master
+/// seed; there is no global or entropy-seeded constructor, by design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Samples a value of type `T` (uniform `f64` in `[0,1)`, fair
+    /// `bool`, or full-range integer).
+    pub fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// Samples uniformly from a half-open (`lo..hi`) or inclusive
+    /// (`lo..=hi`) integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn random_range<T, R: RandRange<T>>(&mut self, range: R) -> T {
+        range.pick(self)
+    }
+
+    /// Uniform integer in `[0, bound)` via the widening-multiply method
+    /// (no modulo bias worth speaking of at our range sizes).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+}
+
+/// Types [`SmallRng::random`] can sample.
+pub trait Random {
+    /// Draws one value from `rng`.
+    fn random_from(rng: &mut SmallRng) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random_from(rng: &mut SmallRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for bool {
+    fn random_from(rng: &mut SmallRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    fn random_from(rng: &mut SmallRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random_from(rng: &mut SmallRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges [`SmallRng::random_range`] can sample from.
+pub trait RandRange<T> {
+    /// Draws one value uniformly from the range.
+    fn pick(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_rand_range {
+    ($($t:ty),*) => {$(
+        impl RandRange<$t> for Range<$t> {
+            fn pick(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl RandRange<$t> for RangeInclusive<$t> {
+            fn pick(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_rand_range!(u16, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_fills_it() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        assert!(lo < 0.01, "min {lo}");
+        assert!(hi > 0.99, "max {hi}");
+    }
+
+    #[test]
+    fn f64_mean_is_near_half() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues {trues}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            assert!((10..20u64).contains(&rng.random_range(10..20u64)));
+            assert!((1..=8usize).contains(&rng.random_range(1..=8usize)));
+        }
+    }
+
+    #[test]
+    fn half_open_range_covers_every_value() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn inclusive_range_reaches_both_ends() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let draws: Vec<u64> = (0..1_000).map(|_| rng.random_range(0..=3u64)).collect();
+        assert!(draws.contains(&0));
+        assert!(draws.contains(&3));
+        assert!(draws.iter().all(|&d| d <= 3));
+    }
+
+    #[test]
+    fn single_value_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert_eq!(rng.random_range(5..=5u64), 5);
+        assert_eq!(rng.random_range(7..8usize), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(1).random_range(5..5u64);
+    }
+}

@@ -5,8 +5,6 @@
 //! centroids and ranges can be updated in O(1) as new instances are added
 //! during learning, exactly as the paper's scaled clusters require.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean / variance / extrema accumulator.
 ///
 /// Uses Welford's numerically-stable single-pass update. Two accumulators
@@ -26,7 +24,8 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.mean(), 5.0);
 /// assert!((s.population_std_dev() - 2.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Streaming {
     count: u64,
     mean: f64,

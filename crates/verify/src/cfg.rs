@@ -1,0 +1,129 @@
+//! Control-flow graphs over generated instruction streams.
+//!
+//! A [`BlockCfg`] is built by expanding a [`BlockSpec`]'s deterministic
+//! instruction stream (the same expansion the simulator executes) and
+//! recording the distinct program counters and control-flow transitions
+//! observed. Because generation is a pure function of `(spec, seed)`,
+//! this is a static analysis: nothing the simulator later runs can
+//! differ from what the CFG saw.
+//!
+//! The scan is bounded by a caller-supplied instruction cap so verifying
+//! a large program stays cheap; structural violations (a stream escaping
+//! its code region, a branch targeting an address outside the block)
+//! stem from the spec's parameters and surface within the first loop
+//! iteration when they occur at all.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use osprey_isa::BlockSpec;
+
+/// Control-flow summary of one block's generated stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCfg {
+    /// Distinct program counters observed, in address order.
+    pub nodes: Vec<u64>,
+    /// Distinct `(pc, next_pc)` transitions observed.
+    pub edges: Vec<(u64, u64)>,
+    /// Transitions that jump backwards (loop back-edges).
+    pub back_edges: usize,
+    /// First program counter observed outside the block's code region.
+    pub escaped_pc: Option<u64>,
+    /// First branch whose target lies outside the code region, as
+    /// `(branch pc, target)`.
+    pub out_of_range_target: Option<(u64, u64)>,
+    /// Instructions actually scanned (min of the cap and the budget).
+    pub scanned: u64,
+}
+
+impl BlockCfg {
+    /// Builds the CFG by scanning at most `cap` instructions of the
+    /// stream `spec.generate(seed)` would produce.
+    pub fn from_spec(spec: &BlockSpec, seed: u64, cap: u64) -> Self {
+        let lo = spec.base_pc;
+        let hi = spec.base_pc.saturating_add(spec.code_footprint);
+        let mut nodes = BTreeSet::new();
+        let mut edges = BTreeMap::new();
+        let mut back_edges = 0usize;
+        let mut escaped_pc = None;
+        let mut out_of_range_target = None;
+        let mut scanned = 0u64;
+        for instr in spec.generate(seed).take(cap as usize) {
+            scanned += 1;
+            if escaped_pc.is_none() && !(lo..hi).contains(&instr.pc) {
+                escaped_pc = Some(instr.pc);
+            }
+            if let Some(b) = instr.branch {
+                if out_of_range_target.is_none() && b.taken && !(lo..hi).contains(&b.target) {
+                    out_of_range_target = Some((instr.pc, b.target));
+                }
+            }
+            nodes.insert(instr.pc);
+            let next = instr.next_pc();
+            if edges.insert((instr.pc, next), ()).is_none() && next <= instr.pc {
+                back_edges += 1;
+            }
+        }
+        Self {
+            nodes: nodes.into_iter().collect(),
+            edges: edges.into_keys().collect(),
+            back_edges,
+            escaped_pc,
+            out_of_range_target,
+            scanned,
+        }
+    }
+
+    /// Bytes of the code footprint the scan actually visited.
+    pub fn visited_bytes(&self) -> u64 {
+        self.nodes.len() as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_blocks_stay_in_range() {
+        let spec = BlockSpec::new(0x40_0000, 2_000);
+        let cfg = BlockCfg::from_spec(&spec, 7, 4_096);
+        assert_eq!(cfg.scanned, 2_000);
+        assert_eq!(cfg.escaped_pc, None);
+        assert_eq!(cfg.out_of_range_target, None);
+        assert!(!cfg.nodes.is_empty());
+        assert!(cfg.visited_bytes() <= spec.code_footprint);
+    }
+
+    #[test]
+    fn looping_blocks_have_back_edges() {
+        // 10k instructions over 256 bytes of code must loop repeatedly.
+        let spec = BlockSpec::new(0x1000, 10_000).with_code_footprint(256);
+        let cfg = BlockCfg::from_spec(&spec, 3, 10_000);
+        assert!(cfg.back_edges >= 1, "back edges: {}", cfg.back_edges);
+    }
+
+    #[test]
+    fn scan_respects_the_cap() {
+        let spec = BlockSpec::new(0x1000, 1_000_000);
+        let cfg = BlockCfg::from_spec(&spec, 1, 64);
+        assert_eq!(cfg.scanned, 64);
+    }
+
+    #[test]
+    fn zero_footprint_blocks_are_caught() {
+        let mut spec = BlockSpec::new(0x1000, 100);
+        spec.code_footprint = 0;
+        let cfg = BlockCfg::from_spec(&spec, 1, 16);
+        // The loop back-edge targets base_pc, which is outside an empty
+        // code region.
+        assert!(cfg.out_of_range_target.is_some() || cfg.escaped_pc.is_some());
+    }
+
+    #[test]
+    fn cfg_is_deterministic() {
+        let spec = BlockSpec::new(0x40_0000, 5_000);
+        let a = BlockCfg::from_spec(&spec, 9, 2_048);
+        let b = BlockCfg::from_spec(&spec, 9, 2_048);
+        assert_eq!(a, b);
+    }
+}

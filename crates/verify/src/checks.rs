@@ -1,0 +1,477 @@
+//! The verification passes and their diagnostic codes.
+//!
+//! Every check emits [`Diagnostic`]s with a stable `OSPVxxx` code, so
+//! tests and tools can assert on exact failure classes:
+//!
+//! | code    | severity | meaning |
+//! |---------|----------|---------|
+//! | OSPV001 | error    | return to user without a matching kernel entry |
+//! | OSPV002 | error    | kernel entry while already in kernel mode |
+//! | OSPV003 | error    | program ends inside an open service interval |
+//! | OSPV004 | error    | user mode executes a service-only block |
+//! | OSPV005 | warning  | service block placed below the kernel address split |
+//! | OSPV010 | error    | instruction-mix fractions out of range or summing past 1 |
+//! | OSPV011 | error    | block has a zero instruction budget |
+//! | OSPV012 | error    | code footprint too small to hold an instruction |
+//! | OSPV013 | error    | branch or edge target out of range |
+//! | OSPV014 | warning  | data region is empty |
+//! | OSPV020 | error    | dead block (unreachable from the entry) |
+//! | OSPV021 | warning  | service interval with a cyclic kernel path (unbounded) |
+//! | OSPV022 | error    | static interval instruction bound exceeds the budget |
+//! | OSPV023 | warning  | service interval contains no instructions |
+
+use std::collections::{HashMap, HashSet};
+
+use osprey_isa::Privilege;
+use osprey_os::layout::KERNEL_CODE_BASE;
+use osprey_report::Diagnostic;
+
+use crate::cfg::BlockCfg;
+use crate::program::{BlockRole, ProgramSpec};
+
+/// Tunables of the verification pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Largest statically-bounded instruction count one service interval
+    /// may reach. The paper's signatures are per-interval dynamic
+    /// instruction counts; an interval beyond this bound could never form
+    /// a learnable cluster, so it is rejected up front.
+    pub max_interval_instructions: u64,
+    /// Instructions of each block's stream to scan while building its
+    /// [`BlockCfg`].
+    pub stream_scan_cap: u64,
+    /// Number of blocks (from the program start) whose streams are
+    /// scanned; well-formedness checks still cover every block. Bounds
+    /// verification cost on large programs.
+    pub stream_scan_blocks: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self {
+            max_interval_instructions: 50_000_000,
+            stream_scan_cap: 2_048,
+            stream_scan_blocks: 256,
+        }
+    }
+}
+
+/// Runs every check with the default configuration.
+pub fn verify(program: &ProgramSpec) -> Vec<Diagnostic> {
+    verify_with(program, &VerifyConfig::default())
+}
+
+/// Runs every check with an explicit configuration. Diagnostics are
+/// ordered errors-first, then by block index.
+pub fn verify_with(program: &ProgramSpec, cfg: &VerifyConfig) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_edges(program, &mut diags);
+    check_blocks(program, cfg, &mut diags);
+    check_reachability(program, &mut diags);
+    check_privilege(program, &mut diags);
+    check_intervals(program, cfg, &mut diags);
+    diags.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.code, d.location.clone()));
+    diags
+}
+
+/// OSPV013 (structural half): every edge endpoint and the entry index
+/// must name an existing block.
+fn check_edges(p: &ProgramSpec, diags: &mut Vec<Diagnostic>) {
+    if !p.blocks.is_empty() && p.entry >= p.blocks.len() {
+        diags.push(Diagnostic::error(
+            "OSPV013",
+            format!("{}: entry", p.name),
+            format!(
+                "entry index {} is out of range ({} blocks)",
+                p.entry,
+                p.blocks.len()
+            ),
+        ));
+    }
+    for &(a, b) in &p.edges {
+        if a >= p.blocks.len() || b >= p.blocks.len() {
+            diags.push(Diagnostic::error(
+                "OSPV013",
+                format!("{}: edge {a}->{b}", p.name),
+                format!("edge endpoint out of range ({} blocks)", p.blocks.len()),
+            ));
+        }
+    }
+}
+
+/// OSPV010/011/012/014 plus the stream half of OSPV013: per-block
+/// well-formedness.
+fn check_blocks(p: &ProgramSpec, cfg: &VerifyConfig, diags: &mut Vec<Diagnostic>) {
+    let mut scanned_blocks = 0usize;
+    for (idx, block) in p.blocks.iter().enumerate() {
+        let Some(spec) = &block.spec else { continue };
+        let loc = p.location(idx);
+        let mut structural_problem = false;
+
+        let fractions = [
+            ("load", spec.mix.load),
+            ("store", spec.mix.store),
+            ("branch", spec.mix.branch),
+            ("int_mul", spec.mix.int_mul),
+            ("int_div", spec.mix.int_div),
+            ("fp_add", spec.mix.fp_add),
+            ("fp_mul", spec.mix.fp_mul),
+            ("fp_div", spec.mix.fp_div),
+        ];
+        if let Some((name, value)) = fractions.iter().find(|(_, v)| !(0.0..=1.0).contains(v)) {
+            diags.push(Diagnostic::error(
+                "OSPV010",
+                loc.clone(),
+                format!("instruction-mix fraction `{name}` = {value} is outside [0, 1]"),
+            ));
+        } else if spec.mix.alu_fraction() < -1e-9 {
+            diags.push(Diagnostic::error(
+                "OSPV010",
+                loc.clone(),
+                format!(
+                    "instruction-mix fractions sum to {:.4} (> 1)",
+                    1.0 - spec.mix.alu_fraction()
+                ),
+            ));
+        }
+
+        if spec.instr_count == 0 {
+            diags.push(Diagnostic::error(
+                "OSPV011",
+                loc.clone(),
+                "block has a zero instruction budget".to_string(),
+            ));
+            structural_problem = true;
+        }
+        if spec.code_footprint < 4 {
+            diags.push(Diagnostic::error(
+                "OSPV012",
+                loc.clone(),
+                format!(
+                    "code footprint of {} bytes cannot hold one 4-byte instruction",
+                    spec.code_footprint
+                ),
+            ));
+            structural_problem = true;
+        }
+        if spec.mem.footprint == 0 {
+            diags.push(Diagnostic::warning(
+                "OSPV014",
+                loc.clone(),
+                "data region is empty; accesses will be clamped".to_string(),
+            ));
+        }
+
+        // Stream scan: skip blocks already structurally broken (their
+        // streams are degenerate and would only repeat the finding) and
+        // stop once the scan budget is spent.
+        if structural_problem || scanned_blocks >= cfg.stream_scan_blocks {
+            continue;
+        }
+        scanned_blocks += 1;
+        let stream = BlockCfg::from_spec(spec, block.seed, cfg.stream_scan_cap);
+        if let Some(pc) = stream.escaped_pc {
+            diags.push(Diagnostic::error(
+                "OSPV013",
+                loc.clone(),
+                format!("generated stream reaches pc {pc:#x} outside the code region"),
+            ));
+        } else if let Some((pc, target)) = stream.out_of_range_target {
+            diags.push(Diagnostic::error(
+                "OSPV013",
+                loc,
+                format!("branch at {pc:#x} targets {target:#x} outside the code region"),
+            ));
+        }
+    }
+}
+
+/// OSPV020: every block must be reachable from the entry.
+fn check_reachability(p: &ProgramSpec, diags: &mut Vec<Diagnostic>) {
+    if p.blocks.is_empty() {
+        return;
+    }
+    let mut reachable = vec![false; p.blocks.len()];
+    let mut stack = Vec::new();
+    if p.entry < p.blocks.len() {
+        reachable[p.entry] = true;
+        stack.push(p.entry);
+    }
+    while let Some(n) = stack.pop() {
+        for s in p.successors(n) {
+            if !reachable[s] {
+                reachable[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    for (idx, ok) in reachable.iter().enumerate() {
+        if !ok {
+            diags.push(Diagnostic::error(
+                "OSPV020",
+                p.location(idx),
+                "dead block: unreachable from the program entry".to_string(),
+            ));
+        }
+    }
+}
+
+/// OSPV001–OSPV005: privilege bracketing over every reachable path.
+///
+/// Walks the graph tracking the privilege mode; the `(block, mode)` state
+/// space is finite, so the walk terminates on cyclic programs too.
+fn check_privilege(p: &ProgramSpec, diags: &mut Vec<Diagnostic>) {
+    if p.blocks.is_empty() || p.entry >= p.blocks.len() {
+        return;
+    }
+    let mut seen: HashSet<(usize, Privilege)> = HashSet::new();
+    let mut stack = vec![(p.entry, Privilege::User)];
+    // Deduplicate per-block findings: a block reached along many paths
+    // should be reported once per failure class.
+    let mut reported: HashSet<(usize, &'static str)> = HashSet::new();
+    let report = |diags: &mut Vec<Diagnostic>,
+                  reported: &mut HashSet<(usize, &'static str)>,
+                  idx: usize,
+                  d: Diagnostic| {
+        if reported.insert((idx, d.code)) {
+            diags.push(d);
+        }
+    };
+    while let Some((idx, mode)) = stack.pop() {
+        if !seen.insert((idx, mode)) {
+            continue;
+        }
+        let block = &p.blocks[idx];
+        let next_mode = match block.role {
+            BlockRole::User => {
+                if let Some(spec) = &block.spec {
+                    if spec.base_pc >= KERNEL_CODE_BASE {
+                        report(
+                            diags,
+                            &mut reported,
+                            idx,
+                            Diagnostic::error(
+                                "OSPV004",
+                                p.location(idx),
+                                format!(
+                                    "user block's code at {:#x} lies in the kernel-only region",
+                                    spec.base_pc
+                                ),
+                            ),
+                        );
+                    }
+                }
+                mode
+            }
+            BlockRole::ServiceEntry(_) => match mode.enter_kernel() {
+                Some(next) => next,
+                None => {
+                    report(
+                        diags,
+                        &mut reported,
+                        idx,
+                        Diagnostic::error(
+                            "OSPV002",
+                            p.location(idx),
+                            "kernel entry while already inside a service interval".to_string(),
+                        ),
+                    );
+                    Privilege::Kernel
+                }
+            },
+            BlockRole::Service(_) => {
+                if mode.is_user() {
+                    report(
+                        diags,
+                        &mut reported,
+                        idx,
+                        Diagnostic::error(
+                            "OSPV004",
+                            p.location(idx),
+                            "service-only block executes in user mode".to_string(),
+                        ),
+                    );
+                }
+                if let Some(spec) = &block.spec {
+                    if spec.base_pc < KERNEL_CODE_BASE {
+                        report(
+                            diags,
+                            &mut reported,
+                            idx,
+                            Diagnostic::warning(
+                                "OSPV005",
+                                p.location(idx),
+                                format!(
+                                    "service block's code at {:#x} lies below the kernel split",
+                                    spec.base_pc
+                                ),
+                            ),
+                        );
+                    }
+                }
+                mode
+            }
+            BlockRole::ServiceReturn(_) => match mode.return_to_user() {
+                Some(next) => next,
+                None => {
+                    report(
+                        diags,
+                        &mut reported,
+                        idx,
+                        Diagnostic::error(
+                            "OSPV001",
+                            p.location(idx),
+                            "return to user mode without a matching kernel entry".to_string(),
+                        ),
+                    );
+                    Privilege::User
+                }
+            },
+        };
+        let mut terminal = true;
+        for s in p.successors(idx) {
+            terminal = false;
+            stack.push((s, next_mode));
+        }
+        if terminal && next_mode.is_kernel() {
+            report(
+                diags,
+                &mut reported,
+                idx,
+                Diagnostic::error(
+                    "OSPV003",
+                    p.location(idx),
+                    "program ends inside an open service interval (kernel entry never returns)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Result of bounding one kernel region node: min/max instructions until
+/// a return, and whether any path actually reaches a return.
+#[derive(Clone, Copy)]
+struct Bound {
+    min: u64,
+    max: u64,
+    reaches_return: bool,
+}
+
+/// OSPV021/022/023: static per-interval instruction bounds.
+fn check_intervals(p: &ProgramSpec, cfg: &VerifyConfig, diags: &mut Vec<Diagnostic>) {
+    for (idx, block) in p.blocks.iter().enumerate() {
+        if !matches!(block.role, BlockRole::ServiceEntry(_)) {
+            continue;
+        }
+        let mut memo: HashMap<usize, Bound> = HashMap::new();
+        let mut on_stack: HashSet<usize> = HashSet::new();
+        let mut cyclic = false;
+        let mut bound = Bound {
+            min: u64::MAX,
+            max: 0,
+            reaches_return: false,
+        };
+        let mut any_succ = false;
+        for s in p.successors(idx) {
+            any_succ = true;
+            let b = bound_from(p, s, &mut memo, &mut on_stack, &mut cyclic);
+            bound.min = bound.min.min(b.min);
+            bound.max = bound.max.max(b.max);
+            bound.reaches_return |= b.reaches_return;
+        }
+        if !any_succ {
+            // Entry with no successors: OSPV003 already covers it.
+            continue;
+        }
+        if cyclic {
+            diags.push(Diagnostic::warning(
+                "OSPV021",
+                p.location(idx),
+                "service interval contains a cyclic kernel path; its instruction count \
+                 is statically unbounded"
+                    .to_string(),
+            ));
+            continue;
+        }
+        if bound.max > cfg.max_interval_instructions {
+            diags.push(Diagnostic::error(
+                "OSPV022",
+                p.location(idx),
+                format!(
+                    "interval may execute {} instructions, beyond the {} budget",
+                    bound.max, cfg.max_interval_instructions
+                ),
+            ));
+        }
+        if bound.reaches_return && bound.min == 0 {
+            diags.push(Diagnostic::warning(
+                "OSPV023",
+                p.location(idx),
+                "service interval can complete without executing any instruction".to_string(),
+            ));
+        }
+    }
+}
+
+/// Bounds instructions from `idx` (inside a kernel region) to the first
+/// service return, memoized; sets `cyclic` when the region loops.
+fn bound_from(
+    p: &ProgramSpec,
+    idx: usize,
+    memo: &mut HashMap<usize, Bound>,
+    on_stack: &mut HashSet<usize>,
+    cyclic: &mut bool,
+) -> Bound {
+    if let Some(&b) = memo.get(&idx) {
+        return b;
+    }
+    if !on_stack.insert(idx) {
+        *cyclic = true;
+        return Bound {
+            min: 0,
+            max: 0,
+            reaches_return: false,
+        };
+    }
+    let block = &p.blocks[idx];
+    let result = match block.role {
+        // The interval ends here; nested entries are privilege errors
+        // handled elsewhere — stop the bound walk at either boundary.
+        BlockRole::ServiceReturn(_) => Bound {
+            min: 0,
+            max: 0,
+            reaches_return: true,
+        },
+        BlockRole::ServiceEntry(_) => Bound {
+            min: 0,
+            max: 0,
+            reaches_return: false,
+        },
+        _ => {
+            let own = block.instr_count();
+            let mut min = u64::MAX;
+            let mut max = 0u64;
+            let mut reaches = false;
+            let mut any = false;
+            for s in p.successors(idx) {
+                any = true;
+                let b = bound_from(p, s, memo, on_stack, cyclic);
+                min = min.min(b.min);
+                max = max.max(b.max);
+                reaches |= b.reaches_return;
+            }
+            if !any {
+                min = 0;
+            }
+            Bound {
+                min: own.saturating_add(min),
+                max: own.saturating_add(max),
+                reaches_return: reaches,
+            }
+        }
+    };
+    on_stack.remove(&idx);
+    memo.insert(idx, result);
+    result
+}

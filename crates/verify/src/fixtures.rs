@@ -1,0 +1,307 @@
+//! Intentionally-broken programs, one per diagnostic code.
+//!
+//! Each fixture is a small [`ProgramSpec`] constructed to trip exactly
+//! one verifier check. They serve three purposes: regression tests
+//! assert the exact code each one produces, `osprey verify --fixture`
+//! demonstrates the diagnostics interactively, and the constructions
+//! document what each code means in practice.
+
+use osprey_isa::{BlockSpec, InstrMix, ServiceId};
+use osprey_os::layout::{path_code_base, KERNEL_CODE_BASE};
+
+use crate::program::{ProgramBlock, ProgramSpec};
+
+/// A named broken program and the diagnostic it must produce.
+pub struct Fixture {
+    /// Fixture name (CLI `--fixture` argument).
+    pub name: &'static str,
+    /// The exact diagnostic code the verifier must emit.
+    pub expected_code: &'static str,
+    /// Builds the program.
+    pub build: fn() -> ProgramSpec,
+}
+
+/// Every fixture, in diagnostic-code order.
+pub const ALL: &[Fixture] = &[
+    Fixture {
+        name: "return-without-entry",
+        expected_code: "OSPV001",
+        build: return_without_entry,
+    },
+    Fixture {
+        name: "nested-entry",
+        expected_code: "OSPV002",
+        build: nested_entry,
+    },
+    Fixture {
+        name: "unbalanced-entry",
+        expected_code: "OSPV003",
+        build: unbalanced_entry,
+    },
+    Fixture {
+        name: "user-runs-kernel-code",
+        expected_code: "OSPV004",
+        build: user_runs_kernel_code,
+    },
+    Fixture {
+        name: "service-below-split",
+        expected_code: "OSPV005",
+        build: service_below_split,
+    },
+    Fixture {
+        name: "out-of-range-mix",
+        expected_code: "OSPV010",
+        build: out_of_range_mix,
+    },
+    Fixture {
+        name: "zero-budget",
+        expected_code: "OSPV011",
+        build: zero_budget,
+    },
+    Fixture {
+        name: "bad-footprint",
+        expected_code: "OSPV012",
+        build: bad_footprint,
+    },
+    Fixture {
+        name: "edge-out-of-range",
+        expected_code: "OSPV013",
+        build: edge_out_of_range,
+    },
+    Fixture {
+        name: "empty-data-region",
+        expected_code: "OSPV014",
+        build: empty_data_region,
+    },
+    Fixture {
+        name: "dead-block",
+        expected_code: "OSPV020",
+        build: dead_block,
+    },
+    Fixture {
+        name: "cyclic-interval",
+        expected_code: "OSPV021",
+        build: cyclic_interval,
+    },
+    Fixture {
+        name: "interval-over-budget",
+        expected_code: "OSPV022",
+        build: interval_over_budget,
+    },
+    Fixture {
+        name: "empty-interval",
+        expected_code: "OSPV023",
+        build: empty_interval,
+    },
+];
+
+/// Looks a fixture up by name.
+pub fn by_name(name: &str) -> Option<&'static Fixture> {
+    ALL.iter().find(|f| f.name == name)
+}
+
+/// A small well-formed program (one compute block, one bracketed
+/// `sys_read` interval) that passes every check — the baseline the
+/// broken fixtures deviate from.
+pub fn ok() -> ProgramSpec {
+    let mut p = ProgramSpec::new("ok");
+    p.push(ProgramBlock::user(user_spec(), 1));
+    p.push(ProgramBlock::entry(ServiceId::SysRead));
+    p.push(ProgramBlock::service(
+        ServiceId::SysRead,
+        kernel_spec(ServiceId::SysRead, 400),
+        2,
+        "page_cache_hit",
+    ));
+    p.push(ProgramBlock::ret(ServiceId::SysRead));
+    p
+}
+
+fn user_spec() -> BlockSpec {
+    BlockSpec::new(0x40_0000, 500)
+}
+
+fn kernel_spec(service: ServiceId, instr: u64) -> BlockSpec {
+    BlockSpec::new(path_code_base(service, 0), instr).with_mix(InstrMix::kernel_control())
+}
+
+fn return_without_entry() -> ProgramSpec {
+    let mut p = ProgramSpec::new("return-without-entry");
+    p.push(ProgramBlock::user(user_spec(), 1));
+    p.push(ProgramBlock::ret(ServiceId::SysRead));
+    p
+}
+
+fn nested_entry() -> ProgramSpec {
+    let mut p = ProgramSpec::new("nested-entry");
+    p.push(ProgramBlock::entry(ServiceId::SysRead));
+    p.push(ProgramBlock::entry(ServiceId::SysWrite));
+    p.push(ProgramBlock::service(
+        ServiceId::SysWrite,
+        kernel_spec(ServiceId::SysWrite, 300),
+        1,
+        "nested",
+    ));
+    p.push(ProgramBlock::ret(ServiceId::SysWrite));
+    p
+}
+
+fn unbalanced_entry() -> ProgramSpec {
+    let mut p = ProgramSpec::new("unbalanced-entry");
+    p.push(ProgramBlock::user(user_spec(), 1));
+    p.push(ProgramBlock::entry(ServiceId::SysRead));
+    p.push(ProgramBlock::service(
+        ServiceId::SysRead,
+        kernel_spec(ServiceId::SysRead, 500),
+        2,
+        "never_returns",
+    ));
+    p
+}
+
+fn user_runs_kernel_code() -> ProgramSpec {
+    let mut p = ProgramSpec::new("user-runs-kernel-code");
+    p.push(ProgramBlock::user(BlockSpec::new(KERNEL_CODE_BASE, 500), 1));
+    p
+}
+
+fn service_below_split() -> ProgramSpec {
+    let mut p = ProgramSpec::new("service-below-split");
+    p.push(ProgramBlock::entry(ServiceId::SysRead));
+    p.push(ProgramBlock::service(
+        ServiceId::SysRead,
+        BlockSpec::new(0x40_0000, 300).with_mix(InstrMix::kernel_control()),
+        1,
+        "misplaced",
+    ));
+    p.push(ProgramBlock::ret(ServiceId::SysRead));
+    p
+}
+
+fn out_of_range_mix() -> ProgramSpec {
+    let mut spec = user_spec();
+    // Constructed literally: the builder's debug assertion would reject
+    // this, which is exactly why the verifier must catch it statically.
+    spec.mix = InstrMix {
+        load: 0.8,
+        store: 0.7,
+        ..InstrMix::balanced()
+    };
+    let mut p = ProgramSpec::new("out-of-range-mix");
+    p.push(ProgramBlock::user(spec, 1));
+    p
+}
+
+fn zero_budget() -> ProgramSpec {
+    let mut p = ProgramSpec::new("zero-budget");
+    p.push(ProgramBlock::user(BlockSpec::new(0x40_0000, 0), 1));
+    p
+}
+
+fn bad_footprint() -> ProgramSpec {
+    let mut spec = user_spec();
+    spec.code_footprint = 0;
+    let mut p = ProgramSpec::new("bad-footprint");
+    p.push(ProgramBlock::user(spec, 1));
+    p
+}
+
+fn edge_out_of_range() -> ProgramSpec {
+    let mut p = ProgramSpec::new("edge-out-of-range");
+    p.push(ProgramBlock::user(user_spec(), 1));
+    p.edges.push((0, 5));
+    p
+}
+
+fn empty_data_region() -> ProgramSpec {
+    let mut spec = user_spec();
+    spec.mem.footprint = 0;
+    let mut p = ProgramSpec::new("empty-data-region");
+    p.push(ProgramBlock::user(spec, 1));
+    p
+}
+
+fn dead_block() -> ProgramSpec {
+    let mut p = ProgramSpec::new("dead-block");
+    p.push(ProgramBlock::user(user_spec(), 1));
+    let orphan = ProgramBlock::user(BlockSpec::new(0x50_0000, 200), 2);
+    // Appended without the implicit chain edge: nothing reaches it.
+    p.blocks.push(orphan);
+    p
+}
+
+fn cyclic_interval() -> ProgramSpec {
+    let mut p = ProgramSpec::new("cyclic-interval");
+    p.push(ProgramBlock::entry(ServiceId::SysPoll));
+    let a = p.push(ProgramBlock::service(
+        ServiceId::SysPoll,
+        kernel_spec(ServiceId::SysPoll, 200),
+        1,
+        "scan",
+    ));
+    let b = p.push(ProgramBlock::service(
+        ServiceId::SysPoll,
+        kernel_spec(ServiceId::SysPoll, 100),
+        2,
+        "rescan",
+    ));
+    p.push(ProgramBlock::ret(ServiceId::SysPoll));
+    // The retry loop: rescan can jump back to scan.
+    p.edges.push((b, a));
+    p
+}
+
+fn interval_over_budget() -> ProgramSpec {
+    let mut p = ProgramSpec::new("interval-over-budget");
+    p.push(ProgramBlock::entry(ServiceId::SysRead));
+    p.push(ProgramBlock::service(
+        ServiceId::SysRead,
+        kernel_spec(ServiceId::SysRead, 100_000_000),
+        1,
+        "runaway",
+    ));
+    p.push(ProgramBlock::ret(ServiceId::SysRead));
+    p
+}
+
+fn empty_interval() -> ProgramSpec {
+    let mut p = ProgramSpec::new("empty-interval");
+    p.push(ProgramBlock::entry(ServiceId::SysGettimeofday));
+    p.push(ProgramBlock::ret(ServiceId::SysGettimeofday));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::BlockRole;
+
+    #[test]
+    fn fixture_names_and_codes_are_unique() {
+        let names: std::collections::HashSet<_> = ALL.iter().map(|f| f.name).collect();
+        assert_eq!(names.len(), ALL.len());
+        let codes: std::collections::HashSet<_> = ALL.iter().map(|f| f.expected_code).collect();
+        assert_eq!(codes.len(), ALL.len());
+    }
+
+    #[test]
+    fn lookup_by_name_round_trips() {
+        for f in ALL {
+            assert_eq!(
+                by_name(f.name).map(|x| x.expected_code),
+                Some(f.expected_code)
+            );
+        }
+        assert!(by_name("no-such-fixture").is_none());
+    }
+
+    #[test]
+    fn baseline_program_is_bracketed() {
+        let p = ok();
+        assert!(matches!(p.blocks[1].role, BlockRole::ServiceEntry(_)));
+        assert!(matches!(
+            p.blocks.last().expect("non-empty").role,
+            BlockRole::ServiceReturn(_)
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Static program analysis for Osprey, run *before* simulation.
+//!
+//! Osprey's acceleration scheme rests on an invariant the paper states
+//! but the simulator cannot cheaply re-check at runtime: an *OS service
+//! interval* is a well-bracketed region — every switch to kernel mode is
+//! matched by a return to user mode, and emulation mode replays exactly
+//! the functional path detailed mode would have taken. A malformed
+//! program silently produces garbage signatures and predictions. This
+//! crate verifies the invariants statically:
+//!
+//! * [`program`] — the [`ProgramSpec`] graph IR the checks operate on,
+//!   plus [`program_for_workload`], which expands a workload through a
+//!   kernel into the exact block sequence the simulator would execute.
+//! * [`cfg`] — [`BlockCfg`], a control-flow graph over a block's
+//!   deterministic generated instruction stream.
+//! * [`checks`] — the passes: privilege bracketing (OSPV001–005),
+//!   spec well-formedness (OSPV010–014), and reachability / interval
+//!   bounds (OSPV020–023). See the [`checks`] module table for codes.
+//! * [`fixtures`] — one intentionally-broken program per diagnostic.
+//!
+//! Findings are [`osprey_report::Diagnostic`]s: a stable code, severity,
+//! location, and message, renderable as a table or CSV.
+//!
+//! # Examples
+//!
+//! A well-formed program verifies cleanly; a broken one is flagged with
+//! a stable code:
+//!
+//! ```
+//! use osprey_verify::{fixtures, verify};
+//!
+//! assert!(verify(&fixtures::ok()).is_empty());
+//!
+//! let broken = fixtures::by_name("zero-budget").expect("fixture exists");
+//! let diags = verify(&(broken.build)());
+//! assert_eq!(diags[0].code, "OSPV011");
+//! ```
+
+pub mod cfg;
+pub mod checks;
+pub mod fixtures;
+pub mod program;
+
+pub use cfg::BlockCfg;
+pub use checks::{verify, verify_with, VerifyConfig};
+pub use program::{program_for_workload, BlockRole, ProgramBlock, ProgramSpec};
+
+use osprey_os::Kernel;
+use osprey_report::Diagnostic;
+use osprey_workloads::Benchmark;
+
+/// Expands and verifies one built-in benchmark at the given seed and
+/// scale, with the default [`VerifyConfig`].
+///
+/// The expansion replays the simulator's own interleaving, so a clean
+/// result here means the simulator will accept the same configuration.
+pub fn verify_benchmark(benchmark: Benchmark, seed: u64, scale: f64) -> Vec<Diagnostic> {
+    let mut workload = benchmark.instantiate_scaled(seed, scale);
+    let mut kernel = Kernel::new(seed);
+    let program = program_for_workload(benchmark.name(), workload.as_mut(), &mut kernel, seed);
+    verify(&program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_fixture_is_clean() {
+        assert_eq!(verify(&fixtures::ok()), Vec::new());
+    }
+
+    #[test]
+    fn every_fixture_reports_exactly_its_code() {
+        for f in fixtures::ALL {
+            let diags = verify(&(f.build)());
+            assert!(
+                !diags.is_empty(),
+                "{}: expected {} but got no diagnostics",
+                f.name,
+                f.expected_code
+            );
+            assert!(
+                diags.iter().all(|d| d.code == f.expected_code),
+                "{}: expected only {}, got {:?}",
+                f.name,
+                f.expected_code,
+                diags
+            );
+        }
+    }
+
+    #[test]
+    fn empty_program_is_clean() {
+        assert!(verify(&ProgramSpec::new("empty")).is_empty());
+    }
+
+    #[test]
+    fn small_benchmark_verifies_cleanly() {
+        assert_eq!(verify_benchmark(Benchmark::Du, 1, 0.02), Vec::new());
+    }
+}

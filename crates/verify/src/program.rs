@@ -1,0 +1,282 @@
+//! The program representation the verifier analyzes.
+//!
+//! A [`ProgramSpec`] is a graph of [`ProgramBlock`]s: user-mode compute
+//! blocks, kernel service blocks, and the pseudo-blocks marking kernel
+//! entry and return. Shipped workloads expand to linear chains (execution
+//! is sequential), but the representation admits arbitrary edges so the
+//! verifier can reason about reachability and interval bounds — and so
+//! broken fixtures can express structural mistakes a chain cannot.
+
+use osprey_isa::{BlockSpec, ServiceId};
+use osprey_os::{Kernel, ServiceInvocation};
+use osprey_workloads::{WorkItem, Workload};
+
+/// What a program block is, from the privilege checker's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockRole {
+    /// Application code executed in user mode.
+    User,
+    /// The mode switch into the kernel for a service (pseudo-block; no
+    /// instructions of its own).
+    ServiceEntry(ServiceId),
+    /// Kernel handler code executed inside a service interval.
+    Service(ServiceId),
+    /// The return to user mode ending a service interval (pseudo-block).
+    ServiceReturn(ServiceId),
+}
+
+impl BlockRole {
+    /// Short human-readable role name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockRole::User => "user",
+            BlockRole::ServiceEntry(_) => "entry",
+            BlockRole::Service(_) => "service",
+            BlockRole::ServiceReturn(_) => "return",
+        }
+    }
+}
+
+/// One node of a [`ProgramSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramBlock {
+    /// The block's role in the privilege structure.
+    pub role: BlockRole,
+    /// The code the block runs; `None` for entry/return pseudo-blocks.
+    pub spec: Option<BlockSpec>,
+    /// Seed the block's instruction stream is generated with.
+    pub seed: u64,
+    /// Free-form label (service path, workload item kind) for diagnostics.
+    pub label: String,
+}
+
+impl ProgramBlock {
+    /// A user-mode compute block.
+    pub fn user(spec: BlockSpec, seed: u64) -> Self {
+        Self {
+            role: BlockRole::User,
+            spec: Some(spec),
+            seed,
+            label: "compute".to_string(),
+        }
+    }
+
+    /// A kernel service block.
+    pub fn service(id: ServiceId, spec: BlockSpec, seed: u64, label: impl Into<String>) -> Self {
+        Self {
+            role: BlockRole::Service(id),
+            spec: Some(spec),
+            seed,
+            label: label.into(),
+        }
+    }
+
+    /// The entry pseudo-block of a service interval.
+    pub fn entry(id: ServiceId) -> Self {
+        Self {
+            role: BlockRole::ServiceEntry(id),
+            spec: None,
+            seed: 0,
+            label: id.name().to_string(),
+        }
+    }
+
+    /// The return pseudo-block ending a service interval.
+    pub fn ret(id: ServiceId) -> Self {
+        Self {
+            role: BlockRole::ServiceReturn(id),
+            spec: None,
+            seed: 0,
+            label: id.name().to_string(),
+        }
+    }
+
+    /// Dynamic instructions this block contributes (0 for pseudo-blocks).
+    pub fn instr_count(&self) -> u64 {
+        self.spec.map_or(0, |s| s.instr_count)
+    }
+}
+
+/// A verifiable program: blocks, control-flow edges, and an entry node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    /// Name shown in diagnostics (benchmark or fixture name).
+    pub name: String,
+    /// The blocks, indexed by edge endpoints.
+    pub blocks: Vec<ProgramBlock>,
+    /// Directed control-flow edges between block indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Index of the first block executed.
+    pub entry: usize,
+}
+
+impl ProgramSpec {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            blocks: Vec::new(),
+            edges: Vec::new(),
+            entry: 0,
+        }
+    }
+
+    /// Appends a block, chaining it after the previous one, and returns
+    /// its index. The first pushed block becomes the entry.
+    pub fn push(&mut self, block: ProgramBlock) -> usize {
+        let idx = self.blocks.len();
+        if idx > 0 {
+            self.edges.push((idx - 1, idx));
+        }
+        self.blocks.push(block);
+        idx
+    }
+
+    /// Appends one expanded service interval (entry, handler blocks,
+    /// return) as a chain.
+    pub fn push_invocation(&mut self, inv: &ServiceInvocation) {
+        self.push(ProgramBlock::entry(inv.service));
+        for (i, spec) in inv.blocks.iter().enumerate() {
+            self.push(ProgramBlock::service(
+                inv.service,
+                *spec,
+                inv.seed.wrapping_add(i as u64),
+                inv.path,
+            ));
+        }
+        self.push(ProgramBlock::ret(inv.service));
+    }
+
+    /// A program consisting of a single expanded service interval.
+    pub fn from_invocation(name: impl Into<String>, inv: &ServiceInvocation) -> Self {
+        let mut p = Self::new(name);
+        p.push_invocation(inv);
+        p
+    }
+
+    /// Successor indices of `from` (invalid edge endpoints are skipped;
+    /// the edge checker reports them separately).
+    pub fn successors(&self, from: usize) -> impl Iterator<Item = usize> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(a, b)| a == from && b < self.blocks.len())
+            .map(|&(_, b)| b)
+    }
+
+    /// Total dynamic instructions across all blocks.
+    pub fn instr_count(&self) -> u64 {
+        self.blocks.iter().map(ProgramBlock::instr_count).sum()
+    }
+
+    /// A compact diagnostics location for block `idx`.
+    pub fn location(&self, idx: usize) -> String {
+        match self.blocks.get(idx) {
+            Some(b) => format!(
+                "{}: block[{idx}] ({} {})",
+                self.name,
+                b.role.name(),
+                b.label
+            ),
+            None => format!("{}: block[{idx}]", self.name),
+        }
+    }
+}
+
+/// Expands a workload through a kernel into a verifiable program,
+/// replaying exactly the interleaving `osprey-sim`'s machine would
+/// execute: due interrupts are raised between items, system calls are
+/// expanded by the kernel, and user blocks advance the instruction clock.
+///
+/// Feeding the same workload/kernel seeds the simulator would use makes
+/// the verified program identical to the executed one (both are
+/// deterministic), which is what lets the simulator reject unverified
+/// programs at load without a separate program format.
+pub fn program_for_workload(
+    name: &str,
+    workload: &mut dyn Workload,
+    kernel: &mut Kernel,
+    master_seed: u64,
+) -> ProgramSpec {
+    let mut p = ProgramSpec::new(name);
+    let mut instret = 0u64;
+    let mut user_blocks = 0u64;
+    loop {
+        while let Some(id) = kernel.due_interrupt(instret) {
+            let inv = kernel.raise(id, instret);
+            instret += inv.instr_count();
+            p.push_invocation(&inv);
+        }
+        match workload.next_item() {
+            None => break,
+            Some(WorkItem::Compute(spec)) => {
+                user_blocks += 1;
+                let seed = master_seed ^ user_blocks.wrapping_mul(0x517c_c1b7_2722_0a95);
+                instret += spec.instr_count;
+                p.push(ProgramBlock::user(spec, seed));
+            }
+            Some(WorkItem::Call(req)) => {
+                let inv = kernel.handle(&req, instret);
+                instret += inv.instr_count();
+                p.push_invocation(&inv);
+            }
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_os::ServiceRequest;
+    use osprey_workloads::Benchmark;
+
+    #[test]
+    fn push_chains_blocks_linearly() {
+        let mut p = ProgramSpec::new("t");
+        let a = p.push(ProgramBlock::user(BlockSpec::new(0x1000, 10), 1));
+        let b = p.push(ProgramBlock::user(BlockSpec::new(0x2000, 20), 2));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(p.edges, vec![(0, 1)]);
+        assert_eq!(p.successors(0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(p.instr_count(), 30);
+    }
+
+    #[test]
+    fn invocation_brackets_blocks_with_entry_and_return() {
+        let mut kernel = Kernel::new(7);
+        let inv = kernel.handle(&ServiceRequest::gettimeofday(), 0);
+        let p = ProgramSpec::from_invocation("t", &inv);
+        assert!(matches!(p.blocks[0].role, BlockRole::ServiceEntry(_)));
+        assert!(matches!(
+            p.blocks.last().expect("non-empty").role,
+            BlockRole::ServiceReturn(_)
+        ));
+        assert_eq!(p.blocks.len(), inv.blocks.len() + 2);
+        assert_eq!(p.instr_count(), inv.instr_count());
+    }
+
+    #[test]
+    fn workload_expansion_is_deterministic_and_mixed() {
+        let build = || {
+            let mut wl = Benchmark::Du.instantiate_scaled(3, 0.05);
+            let mut kernel = Kernel::new(3);
+            program_for_workload("du", wl.as_mut(), &mut kernel, 3)
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(a.blocks.iter().any(|x| x.role == BlockRole::User));
+        assert!(a
+            .blocks
+            .iter()
+            .any(|x| matches!(x.role, BlockRole::Service(_))));
+    }
+
+    #[test]
+    fn locations_name_the_block() {
+        let mut p = ProgramSpec::new("prog");
+        p.push(ProgramBlock::user(BlockSpec::new(0x1000, 10), 1));
+        assert!(p.location(0).contains("prog: block[0]"));
+        assert!(p.location(9).contains("block[9]"));
+    }
+}

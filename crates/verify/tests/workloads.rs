@@ -1,0 +1,36 @@
+//! Every shipped workload must pass the static verifier.
+//!
+//! This is the contract `osprey-sim` relies on when it rejects
+//! unverified programs at load: the built-in benchmarks, expanded with
+//! the simulator's own interleaving, produce no diagnostics at all —
+//! not even warnings.
+
+use osprey_verify::verify_benchmark;
+use osprey_workloads::Benchmark;
+
+#[test]
+fn all_benchmarks_pass_the_verifier() {
+    for benchmark in Benchmark::ALL {
+        let diags = verify_benchmark(benchmark, 1, 0.05);
+        assert!(
+            diags.is_empty(),
+            "{benchmark}: expected a clean program, got {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn verification_is_seed_independent() {
+    for seed in [0, 7, 0xdead_beef] {
+        let diags = verify_benchmark(Benchmark::AbRand, seed, 0.05);
+        assert!(diags.is_empty(), "seed {seed}: {diags:#?}");
+    }
+}
+
+#[test]
+fn os_intensive_benchmarks_verify_at_larger_scale() {
+    for benchmark in Benchmark::OS_INTENSIVE {
+        let diags = verify_benchmark(benchmark, 1, 0.25);
+        assert!(diags.is_empty(), "{benchmark}: {diags:#?}");
+    }
+}

@@ -5,12 +5,11 @@
 //! varying number of files with skewed sizes (most files small, a few
 //! large), all derived from a seed.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use osprey_stats::rng::SmallRng;
 
 /// One file in the tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FileEntry {
     /// Globally unique path identifier (dentry key).
     pub path_id: u64,
@@ -19,7 +18,8 @@ pub struct FileEntry {
 }
 
 /// One directory, with its files, in walk order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DirEntry {
     /// Globally unique directory identifier.
     pub dir_id: u64,
@@ -40,7 +40,8 @@ pub struct DirEntry {
 /// // Same seed, same tree.
 /// assert_eq!(tree, FsTree::generate(7, 50, 16));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FsTree {
     /// Directories in walk order.
     pub dirs: Vec<DirEntry>,

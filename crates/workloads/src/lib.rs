@@ -39,10 +39,10 @@ pub mod web;
 
 use osprey_isa::BlockSpec;
 use osprey_os::ServiceRequest;
-use serde::{Deserialize, Serialize};
 
 /// One unit of application activity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum WorkItem {
     /// User-mode computation.
     Compute(BlockSpec),
@@ -71,7 +71,8 @@ pub trait Workload {
 }
 
 /// The paper's benchmark suite.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Benchmark {
     /// Apache + `ab`, random page requests.
     AbRand,
@@ -230,8 +231,7 @@ mod tests {
 
     #[test]
     fn all_benchmarks_have_unique_names() {
-        let names: std::collections::HashSet<_> =
-            Benchmark::ALL.iter().map(|b| b.name()).collect();
+        let names: std::collections::HashSet<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
         assert_eq!(names.len(), Benchmark::ALL.len());
     }
 
@@ -286,7 +286,10 @@ mod tests {
                     WorkItem::Compute(_) => computes += 1,
                 }
             }
-            assert!(calls > computes / 4, "{b}: calls={calls} computes={computes}");
+            assert!(
+                calls > computes / 4,
+                "{b}: calls={calls} computes={computes}"
+            );
         }
     }
 

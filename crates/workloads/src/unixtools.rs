@@ -167,10 +167,7 @@ impl FindOdWorkload {
                 while off < f.size {
                     let chunk = 4096.min(f.size - off);
                     items.push(WorkItem::Call(ServiceRequest::read(file, off, chunk)));
-                    items.push(WorkItem::Compute(od_compute(
-                        i * 64 + chunk_idx,
-                        2 * chunk,
-                    )));
+                    items.push(WorkItem::Compute(od_compute(i * 64 + chunk_idx, 2 * chunk)));
                     chunk_idx += 1;
                     items.push(WorkItem::Call(ServiceRequest::write(
                         STDOUT_FILE,

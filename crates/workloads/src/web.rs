@@ -16,8 +16,7 @@
 
 use osprey_isa::{BlockSpec, InstrMix, MemPattern};
 use osprey_os::ServiceRequest;
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
+use osprey_stats::rng::SmallRng;
 
 use crate::{ScriptedWorkload, WorkItem, Workload};
 

@@ -11,7 +11,9 @@ use osprey::workloads::Benchmark;
 
 fn main() {
     // A small iperf run on the paper's machine (ooo core, 1 MiB L2).
-    let cfg = SimConfig::new(Benchmark::Iperf).with_scale(0.25).with_seed(7);
+    let cfg = SimConfig::new(Benchmark::Iperf)
+        .with_scale(0.25)
+        .with_seed(7);
 
     // Reference: everything fully simulated.
     println!("running detailed full-system simulation ...");
@@ -26,7 +28,10 @@ fn main() {
         / detailed.total_cycles as f64;
 
     println!();
-    println!("detailed:    {:>12} cycles in {:?}", detailed.total_cycles, detailed.wall);
+    println!(
+        "detailed:    {:>12} cycles in {:?}",
+        detailed.total_cycles, detailed.wall
+    );
     println!(
         "accelerated: {:>12} cycles in {:?}",
         accel.report.total_cycles, accel.report.wall

@@ -24,8 +24,7 @@ fn main() {
 
     let mut t = Table::new(["strategy", "coverage", "|time error|", "re-learn events"]);
     for strategy in RelearnStrategy::ALL {
-        let out =
-            AcceleratedSim::new(cfg.clone(), AccelConfig::with_strategy(strategy)).run();
+        let out = AcceleratedSim::new(cfg.clone(), AccelConfig::with_strategy(strategy)).run();
         let err = (out.report.total_cycles as f64 - detailed.total_cycles as f64).abs()
             / detailed.total_cycles as f64;
         t.row([

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Regenerates every paper table and figure into results/.
 # Usage: ./run_all_experiments.sh [scale]   (default scale 1.0)
+# Run ./ci.sh first for the full lint/build/test gate.
 set -e
 SCALE=${1:-1.0}
 mkdir -p results

@@ -20,7 +20,10 @@ fn accelerated_and_detailed_execute_identical_instruction_streams() {
             detailed.total_instructions, accel.report.total_instructions,
             "{b}: emulation must preserve the functional instruction stream"
         );
-        assert_eq!(detailed.os_instructions, accel.report.os_instructions, "{b}");
+        assert_eq!(
+            detailed.os_instructions, accel.report.os_instructions,
+            "{b}"
+        );
     }
 }
 
@@ -69,12 +72,10 @@ fn app_only_underestimates_execution_time() {
 
 #[test]
 fn smaller_l2_is_slower_under_full_simulation() {
-    let small =
-        FullSystemSim::new(quick(Benchmark::Iperf, 0.15).with_l2_bytes(512 * 1024))
-            .run_to_completion();
-    let large =
-        FullSystemSim::new(quick(Benchmark::Iperf, 0.15).with_l2_bytes(1024 * 1024))
-            .run_to_completion();
+    let small = FullSystemSim::new(quick(Benchmark::Iperf, 0.15).with_l2_bytes(512 * 1024))
+        .run_to_completion();
+    let large = FullSystemSim::new(quick(Benchmark::Iperf, 0.15).with_l2_bytes(1024 * 1024))
+        .run_to_completion();
     assert!(
         small.total_cycles > large.total_cycles,
         "512K {} vs 1M {}",
@@ -88,8 +89,7 @@ fn coverage_ordering_matches_paper_fig11() {
     // Best-Match never re-learns, so its coverage bounds every other
     // strategy's from above; Eager's bounds from below.
     let run = |s: RelearnStrategy| {
-        AcceleratedSim::new(quick(Benchmark::FindOd, 0.4), AccelConfig::with_strategy(s))
-            .run()
+        AcceleratedSim::new(quick(Benchmark::FindOd, 0.4), AccelConfig::with_strategy(s)).run()
     };
     let best = run(RelearnStrategy::BestMatch);
     let eager = run(RelearnStrategy::Eager);
@@ -106,16 +106,14 @@ fn coverage_ordering_matches_paper_fig11() {
 #[test]
 fn every_core_model_completes_a_run() {
     for model in CoreModel::TABLE1 {
-        let report = FullSystemSim::new(quick(Benchmark::Du, 0.02).with_core(model))
-            .run_to_completion();
+        let report =
+            FullSystemSim::new(quick(Benchmark::Du, 0.02).with_core(model)).run_to_completion();
         assert!(report.total_instructions > 0, "{model}");
         assert!(report.total_cycles > 0, "{model}");
     }
     // Emulation has no cycles at all.
-    let report = FullSystemSim::new(
-        quick(Benchmark::Du, 0.02).with_core(CoreModel::Emulation),
-    )
-    .run_to_completion();
+    let report = FullSystemSim::new(quick(Benchmark::Du, 0.02).with_core(CoreModel::Emulation))
+        .run_to_completion();
     assert_eq!(report.total_cycles, 0);
 }
 

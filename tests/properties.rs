@@ -1,98 +1,138 @@
 //! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! Previously written against `proptest`; rewritten over the workspace's
+//! own deterministic generator (`osprey_stats::rng`) so the suite runs
+//! with no external dependencies. Each property is exercised across many
+//! seeded pseudo-random cases; failures report the offending case index
+//! so the exact inputs can be regenerated.
 
 use osprey::core::{Plt, ScaledCluster};
 use osprey::isa::Privilege;
 use osprey::isa::{BlockSpec, InstrMix, MemPattern};
 use osprey::mem::{Cache, CacheConfig};
-use osprey::stats::{
-    capture_probability, learning_window, upper_confidence_bound, Streaming,
-};
+use osprey::stats::rng::SmallRng;
+use osprey::stats::{capture_probability, learning_window, upper_confidence_bound, Streaming};
 
-proptest! {
-    // ---------- statistics ----------
+/// Number of pseudo-random cases per property.
+const CASES: u64 = 64;
 
-    #[test]
-    fn streaming_matches_batch_mean(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+/// Seeded generators for each case of a property, tagged by a
+/// property-unique salt so different properties see different inputs.
+fn cases(salt: u64) -> impl Iterator<Item = (u64, SmallRng)> {
+    (0..CASES).map(move |i| (i, SmallRng::seed_from_u64(salt ^ (i * 0x9e37_79b9))))
+}
+
+fn f64_in(rng: &mut SmallRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.random::<f64>() * (hi - lo)
+}
+
+fn vec_f64(rng: &mut SmallRng, lo: f64, hi: f64, len_range: std::ops::Range<usize>) -> Vec<f64> {
+    let len = rng.random_range(len_range);
+    (0..len).map(|_| f64_in(rng, lo, hi)).collect()
+}
+
+// ---------- statistics ----------
+
+#[test]
+fn streaming_matches_batch_mean() {
+    for (case, mut rng) in cases(0x51a7) {
+        let values = vec_f64(&mut rng, -1e6, 1e6, 1..200);
         let s = Streaming::from_iter(values.iter().copied());
         let batch = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((s.mean() - batch).abs() <= 1e-6 * (1.0 + batch.abs()));
-        prop_assert_eq!(s.count(), values.len() as u64);
-        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min().unwrap(), min);
-        prop_assert_eq!(s.max().unwrap(), max);
+        assert!(
+            (s.mean() - batch).abs() <= 1e-6 * (1.0 + batch.abs()),
+            "case {case}"
+        );
+        assert_eq!(s.count(), values.len() as u64, "case {case}");
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(s.min(), Some(min), "case {case}");
+        assert_eq!(s.max(), Some(max), "case {case}");
     }
+}
 
-    #[test]
-    fn streaming_merge_is_order_independent(
-        a in prop::collection::vec(-1e4f64..1e4, 0..100),
-        b in prop::collection::vec(-1e4f64..1e4, 0..100),
-    ) {
+#[test]
+fn streaming_merge_is_order_independent() {
+    for (case, mut rng) in cases(0x6d65) {
+        let a = vec_f64(&mut rng, -1e4, 1e4, 0..100);
+        let b = vec_f64(&mut rng, -1e4, 1e4, 0..100);
         let mut left = Streaming::from_iter(a.iter().copied());
         left.merge(&Streaming::from_iter(b.iter().copied()));
         let mut right = Streaming::from_iter(b.iter().copied());
         right.merge(&Streaming::from_iter(a.iter().copied()));
-        prop_assert_eq!(left.count(), right.count());
-        prop_assert!((left.mean() - right.mean()).abs() < 1e-6);
-        prop_assert!((left.sample_variance() - right.sample_variance()).abs() < 1e-4);
+        assert_eq!(left.count(), right.count(), "case {case}");
+        assert!((left.mean() - right.mean()).abs() < 1e-6, "case {case}");
+        assert!(
+            (left.sample_variance() - right.sample_variance()).abs() < 1e-4,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn learning_window_is_sufficient_and_minimal(
-        p in 0.005f64..0.5,
-        doc in 0.5f64..0.999,
-    ) {
-        let n = learning_window(p, doc).unwrap();
-        prop_assert!(capture_probability(p, n) >= doc);
+#[test]
+fn learning_window_is_sufficient_and_minimal() {
+    for (case, mut rng) in cases(0x77f1) {
+        let p = f64_in(&mut rng, 0.005, 0.5);
+        let doc = f64_in(&mut rng, 0.5, 0.999);
+        let n = learning_window(p, doc).expect("valid parameters");
+        assert!(capture_probability(p, n) >= doc, "case {case}");
         if n > 1 {
-            prop_assert!(capture_probability(p, n - 1) < doc);
+            assert!(capture_probability(p, n - 1) < doc, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn confidence_bound_is_at_least_the_mean(
-        samples in prop::collection::vec(0.0f64..1.0, 2..30),
-    ) {
+#[test]
+fn confidence_bound_is_at_least_the_mean() {
+    for (case, mut rng) in cases(0xc0f1) {
+        let samples = vec_f64(&mut rng, 0.0, 1.0, 2..30);
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let bound = upper_confidence_bound(&samples, 0.05).unwrap();
-        prop_assert!(bound >= mean - 1e-12);
+        let bound = upper_confidence_bound(&samples, 0.05).expect("enough samples");
+        assert!(bound >= mean - 1e-12, "case {case}");
     }
+}
 
-    // ---------- scaled clusters and PLT ----------
+// ---------- scaled clusters and PLT ----------
 
-    #[test]
-    fn cluster_centroid_stays_within_member_range(
-        members in prop::collection::vec(1_000u64..1_000_000, 1..50),
-    ) {
+#[test]
+fn cluster_centroid_stays_within_member_range() {
+    for (case, mut rng) in cases(0xc105) {
+        let len = rng.random_range(1..50usize);
+        let members: Vec<u64> = (0..len)
+            .map(|_| rng.random_range(1_000u64..1_000_000))
+            .collect();
         let mut c = ScaledCluster::seed(members[0], 1, Default::default(), 0.05);
         for &m in &members[1..] {
             c.add(m, 1, &Default::default());
         }
-        let min = *members.iter().min().unwrap() as f64;
-        let max = *members.iter().max().unwrap() as f64;
-        prop_assert!(c.centroid() >= min - 1e-9);
-        prop_assert!(c.centroid() <= max + 1e-9);
-        prop_assert_eq!(c.members(), members.len() as u64);
+        let min = *members.iter().min().expect("non-empty") as f64;
+        let max = *members.iter().max().expect("non-empty") as f64;
+        assert!(c.centroid() >= min - 1e-9, "case {case}");
+        assert!(c.centroid() <= max + 1e-9, "case {case}");
+        assert_eq!(c.members(), members.len() as u64, "case {case}");
     }
+}
 
-    #[test]
-    fn cluster_match_respects_the_scaled_range(
-        centroid in 1_000u64..1_000_000,
-        delta_frac in -0.2f64..0.2,
-    ) {
+#[test]
+fn cluster_match_respects_the_scaled_range() {
+    for (case, mut rng) in cases(0x5ca1) {
+        let centroid = rng.random_range(1_000u64..1_000_000);
+        let delta_frac = f64_in(&mut rng, -0.2, 0.2);
         let c = ScaledCluster::seed(centroid, 1, Default::default(), 0.05);
         let probe = ((centroid as f64) * (1.0 + delta_frac)).max(1.0) as u64;
         let within = (probe as f64 - centroid as f64).abs() <= 0.05 * centroid as f64;
-        prop_assert_eq!(c.matches(probe), within);
+        assert_eq!(c.matches(probe), within, "case {case}");
     }
+}
 
-    #[test]
-    fn plt_lookup_agrees_with_closest_on_matches(
-        sigs in prop::collection::vec(1_000u64..100_000, 1..40),
-        probe in 1_000u64..100_000,
-    ) {
+#[test]
+fn plt_lookup_agrees_with_closest_on_matches() {
+    for (case, mut rng) in cases(0x9717) {
+        let len = rng.random_range(1..40usize);
+        let sigs: Vec<u64> = (0..len)
+            .map(|_| rng.random_range(1_000u64..100_000))
+            .collect();
+        let probe = rng.random_range(1_000u64..100_000);
         let mut plt = Plt::new(0.05);
         for &s in &sigs {
             plt.learn(s, s * 2, &Default::default());
@@ -101,20 +141,24 @@ proptest! {
         // the same cluster's (lookup picks the closest among matches, and
         // anything closer would also match).
         if let Some(a) = plt.lookup(probe) {
-            let b = plt.closest(probe).unwrap();
-            prop_assert_eq!(a, b);
+            let b = plt.closest(probe).expect("non-empty PLT");
+            assert_eq!(a, b, "case {case}");
         }
         // Learning never loses instances.
         let total: u64 = plt.clusters().iter().map(|c| c.members()).sum();
-        prop_assert_eq!(total, sigs.len() as u64);
+        assert_eq!(total, sigs.len() as u64, "case {case}");
     }
+}
 
-    // ---------- caches ----------
+// ---------- caches ----------
 
-    #[test]
-    fn cache_occupancy_never_exceeds_capacity(
-        addrs in prop::collection::vec(0u64..1_000_000, 1..500),
-    ) {
+#[test]
+fn cache_occupancy_never_exceeds_capacity() {
+    for (case, mut rng) in cases(0xcac4) {
+        let len = rng.random_range(1..500usize);
+        let addrs: Vec<u64> = (0..len)
+            .map(|_| rng.random_range(0u64..1_000_000))
+            .collect();
         let mut cache = Cache::new(CacheConfig {
             size: 2048,
             assoc: 4,
@@ -123,27 +167,33 @@ proptest! {
         });
         for &a in &addrs {
             cache.access(a, a % 3 == 0, Privilege::User);
-            prop_assert!(cache.valid_lines() <= 32);
+            assert!(cache.valid_lines() <= 32, "case {case}");
         }
-        prop_assert_eq!(cache.stats().accesses(), addrs.len() as u64);
-        prop_assert!(cache.stats().misses() <= cache.stats().accesses());
+        assert_eq!(cache.stats().accesses(), addrs.len() as u64, "case {case}");
+        assert!(
+            cache.stats().misses() <= cache.stats().accesses(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn access_makes_line_resident(addr in 0u64..1_000_000) {
+#[test]
+fn access_makes_line_resident() {
+    for (case, mut rng) in cases(0x4e51) {
+        let addr = rng.random_range(0u64..1_000_000);
         let mut cache = Cache::new(CacheConfig::l1d());
         cache.access(addr, false, Privilege::Kernel);
-        prop_assert!(cache.probe(addr));
+        assert!(cache.probe(addr), "case {case}");
         // Same line, different byte: still resident.
-        prop_assert!(cache.probe(addr ^ 0x3f));
+        assert!(cache.probe(addr ^ 0x3f), "case {case}");
     }
+}
 
-    #[test]
-    fn pollution_preserves_occupancy_bounds(
-        misses in 0u64..200,
-        seed in 0u64..1_000,
-    ) {
-        use rand::SeedableRng;
+#[test]
+fn pollution_preserves_occupancy_bounds() {
+    for (case, mut rng) in cases(0x9011) {
+        let misses = rng.random_range(0u64..200);
+        let seed = rng.random_range(0u64..1_000);
         let mut cache = Cache::new(CacheConfig {
             size: 4096,
             assoc: 4,
@@ -154,50 +204,65 @@ proptest! {
             cache.access(i * 64, false, Privilege::User);
         }
         let app_before = cache.owned_lines(Privilege::User);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        let displaced = cache.pollute(misses * 2, misses, &mut rng);
-        prop_assert!(displaced <= misses);
-        prop_assert_eq!(cache.owned_lines(Privilege::User), app_before - displaced);
-        prop_assert!(cache.valid_lines() <= 64);
+        let mut prng = SmallRng::seed_from_u64(seed);
+        let displaced = cache.pollute(misses * 2, misses, &mut prng);
+        assert!(displaced <= misses, "case {case}");
+        assert_eq!(
+            cache.owned_lines(Privilege::User),
+            app_before - displaced,
+            "case {case}"
+        );
+        assert!(cache.valid_lines() <= 64, "case {case}");
     }
+}
 
-    // ---------- instruction generation ----------
+// ---------- instruction generation ----------
 
-    #[test]
-    fn blockgen_is_deterministic_and_exact(
-        instrs in 1u64..5_000,
-        seed in 0u64..1_000,
-        footprint in 64u64..16_384,
-    ) {
+#[test]
+fn blockgen_is_deterministic_and_exact() {
+    for (case, mut rng) in cases(0xb10c) {
+        let instrs = rng.random_range(1u64..5_000);
+        let seed = rng.random_range(0u64..1_000);
+        let footprint = rng.random_range(64u64..16_384);
         let spec = BlockSpec::new(0x40_0000, instrs)
             .with_code_footprint(footprint)
             .with_mix(InstrMix::kernel_control())
             .with_mem(MemPattern::random(0x1000_0000, 32 * 1024));
         let a: Vec<_> = spec.generate(seed).collect();
         let b: Vec<_> = spec.generate(seed).collect();
-        prop_assert_eq!(a.len() as u64, instrs);
-        prop_assert_eq!(&a, &b);
+        assert_eq!(a.len() as u64, instrs, "case {case}");
+        assert_eq!(a, b, "case {case}");
         for instr in &a {
-            prop_assert!(instr.pc >= spec.base_pc);
-            prop_assert!(instr.pc < spec.base_pc + spec.code_footprint);
+            assert!(instr.pc >= spec.base_pc, "case {case}");
+            assert!(instr.pc < spec.base_pc + spec.code_footprint, "case {case}");
             if let Some(addr) = instr.mem_addr {
-                prop_assert!(addr >= spec.mem.base);
-                prop_assert!(addr < spec.mem.base + spec.mem.footprint);
+                assert!(addr >= spec.mem.base, "case {case}");
+                assert!(addr < spec.mem.base + spec.mem.footprint, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn kernel_handling_is_a_pure_function_of_history(
-        reqs in prop::collection::vec((0u64..4, 0u64..16, 1u64..32_768), 1..60),
-    ) {
-        use osprey::os::{Kernel, ServiceRequest};
+#[test]
+fn kernel_handling_is_a_pure_function_of_history() {
+    use osprey::os::{Kernel, ServiceRequest};
+    for (case, mut rng) in cases(0x6e71) {
+        let len = rng.random_range(1..60usize);
+        let reqs: Vec<(u64, u64, u64)> = (0..len)
+            .map(|_| {
+                (
+                    rng.random_range(0u64..4),
+                    rng.random_range(0u64..16),
+                    rng.random_range(1u64..32_768),
+                )
+            })
+            .collect();
         let mut a = Kernel::new(3);
         let mut b = Kernel::new(3);
         for (i, &(file, page, size)) in reqs.iter().enumerate() {
             let req = ServiceRequest::read(file, page * 4096, size);
             let now = i as u64 * 10_000;
-            prop_assert_eq!(a.handle(&req, now), b.handle(&req, now));
+            assert_eq!(a.handle(&req, now), b.handle(&req, now), "case {case}");
         }
     }
 }
