@@ -18,4 +18,23 @@ cargo test -q
 echo "=== cargo test --workspace -q ==="
 cargo test --workspace -q
 
+echo "=== bench smoke: tiny sweep through osprey-exec ==="
+cargo build --release -p osprey-cli
+rm -f results/BENCH_sweep.json
+./target/release/osprey sweep --benchmarks du,iperf --scale 0.05 --jobs 2
+test -s results/BENCH_sweep.json
+# Well-formedness: every schema field present, braces/brackets balanced.
+for key in '"bench"' '"workers"' '"jobs"' '"wall_ms"' \
+           '"serial_estimate_ms"' '"parallel_wall_ms"' '"speedup"'; do
+    grep -q "$key" results/BENCH_sweep.json
+done
+awk 'BEGIN { b = 0; k = 0 }
+     { n = split($0, ch, "")
+       for (i = 1; i <= n; i++) {
+           if (ch[i] == "{") b++; if (ch[i] == "}") b--
+           if (ch[i] == "[") k++; if (ch[i] == "]") k--
+       } }
+     END { exit (b != 0 || k != 0) }' results/BENCH_sweep.json
+echo "results/BENCH_sweep.json written and well-formed."
+
 echo "CI green."

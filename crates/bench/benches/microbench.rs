@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 use osprey_core::accel::{AccelConfig, AcceleratedSim};
 use osprey_core::Plt;
 use osprey_cpu::{Core, CpuConfig, OooCore};
+use osprey_exec::{run_jobs, Job};
 use osprey_isa::{BlockSpec, Privilege};
 use osprey_mem::{Hierarchy, HierarchyConfig};
 use osprey_sim::{FullSystemSim, SimConfig};
@@ -76,6 +77,14 @@ fn bench_ooo_step(filter: &str) {
         }
         black_box(core.cycles());
     });
+    // The block-batched hot path: one virtual call per block instead of
+    // one per instruction.
+    bench(filter, "ooo_step_block_10k_instructions", || {
+        let mut core = OooCore::new(CpuConfig::pentium4());
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        core.step_block(&spec, 1, &mut mem, Privilege::User);
+        black_box(core.cycles());
+    });
 }
 
 fn bench_block_generation(filter: &str) {
@@ -111,6 +120,24 @@ fn bench_end_to_end(filter: &str) {
     });
 }
 
+fn bench_exec_pool(filter: &str) {
+    // Pool overhead: dispatch + collect for trivial jobs. Reported per
+    // 64-job sweep; micro-timing of the jobs themselves stays serial so
+    // contention never distorts the other benchmarks here.
+    bench(filter, "exec_pool_64_trivial_jobs", || {
+        let jobs: Vec<Job<u64>> = (0..64)
+            .map(|i| Job::new("j", move || black_box(i as u64)))
+            .collect();
+        black_box(run_jobs(jobs, 4).results.len());
+    });
+    bench(filter, "exec_pool_serial_64_trivial_jobs", || {
+        let jobs: Vec<Job<u64>> = (0..64)
+            .map(|i| Job::new("j", move || black_box(i as u64)))
+            .collect();
+        black_box(run_jobs(jobs, 1).results.len());
+    });
+}
+
 fn main() {
     // `cargo bench` passes `--bench`; treat the first non-flag argument
     // as a name filter, matching criterion's CLI convention.
@@ -122,5 +149,6 @@ fn main() {
     bench_ooo_step(&filter);
     bench_block_generation(&filter);
     bench_plt_lookup(&filter);
+    bench_exec_pool(&filter);
     bench_end_to_end(&filter);
 }

@@ -5,23 +5,36 @@
 //! more outliers, lower coverage); too-large ranges merge distinct
 //! points (worse accuracy).
 
-use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, statistical, L2_DEFAULT};
+use osprey_bench::{
+    accelerated_with, detailed, pct, scale_from_args, statistical, sweep_rows, L2_DEFAULT,
+};
 use osprey_core::accel::AccelConfig;
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
+const RANGES: [f64; 5] = [0.01, 0.02, 0.05, 0.10, 0.25];
+
 fn main() {
     let scale = scale_from_args();
     println!("Ablation: cluster range fraction (Statistical strategy, scale {scale})\n");
-    for b in [Benchmark::AbRand, Benchmark::AbSeq] {
+    const BENCHES: [Benchmark; 2] = [Benchmark::AbRand, Benchmark::AbSeq];
+    let rows = sweep_rows("ablation_cluster_range", &BENCHES, move |b| {
         let full = detailed(b, L2_DEFAULT, scale);
+        let outs: Vec<_> = RANGES
+            .iter()
+            .map(|&range| {
+                let cfg = AccelConfig {
+                    cluster_range: range,
+                    ..AccelConfig::with_strategy(statistical())
+                };
+                accelerated_with(b, L2_DEFAULT, scale, cfg)
+            })
+            .collect();
+        (full, outs)
+    });
+    for (b, (full, outs)) in BENCHES.into_iter().zip(rows) {
         let mut t = Table::new(["range", "coverage", "|error|", "sys_read clusters"]);
-        for range in [0.01, 0.02, 0.05, 0.10, 0.25] {
-            let cfg = AccelConfig {
-                cluster_range: range,
-                ..AccelConfig::with_strategy(statistical())
-            };
-            let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
+        for (range, out) in RANGES.into_iter().zip(outs) {
             let read_clusters = out
                 .clusters_per_service
                 .iter()

@@ -2,24 +2,37 @@
 //! invocations; §6.1 notes that delaying find-od's start to 25 improves
 //! its L2 miss-rate accuracy).
 
-use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, statistical, L2_DEFAULT};
+use osprey_bench::{
+    accelerated_with, detailed, pct, scale_from_args, statistical, sweep_rows, L2_DEFAULT,
+};
 use osprey_core::accel::AccelConfig;
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
+const DELAYS: [u64; 3] = [0, 5, 25];
+
 fn main() {
     let scale = scale_from_args();
     println!("Ablation: delayed learning start (scale {scale})\n");
-    for b in [Benchmark::FindOd, Benchmark::AbSeq] {
+    const BENCHES: [Benchmark; 2] = [Benchmark::FindOd, Benchmark::AbSeq];
+    let rows = sweep_rows("ablation_delayed_start", &BENCHES, move |b| {
         let full = detailed(b, L2_DEFAULT, scale);
+        let outs: Vec<_> = DELAYS
+            .iter()
+            .map(|&delay| {
+                let cfg = AccelConfig {
+                    warmup: delay,
+                    relearn_warmup: delay,
+                    ..AccelConfig::with_strategy(statistical())
+                };
+                accelerated_with(b, L2_DEFAULT, scale, cfg)
+            })
+            .collect();
+        (full, outs)
+    });
+    for (b, (full, outs)) in BENCHES.into_iter().zip(rows) {
         let mut t = Table::new(["delay", "coverage", "|time err|", "|L2 missrate diff| (pp)"]);
-        for delay in [0u64, 5, 25] {
-            let cfg = AccelConfig {
-                warmup: delay,
-                relearn_warmup: delay,
-                ..AccelConfig::with_strategy(statistical())
-            };
-            let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
+        for (delay, out) in DELAYS.into_iter().zip(outs) {
             t.row([
                 delay.to_string(),
                 pct(out.coverage()),

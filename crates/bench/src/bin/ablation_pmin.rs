@@ -4,31 +4,42 @@
 //! Smaller p_min means longer learning windows (lower coverage, better
 //! capture of rare behavior points); larger p_min the reverse.
 
-use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, L2_DEFAULT};
+use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_core::accel::AccelConfig;
 use osprey_core::RelearnStrategy;
 use osprey_report::Table;
 use osprey_stats::learning_window;
 use osprey_workloads::Benchmark;
 
+const P_MINS: [f64; 5] = [0.01, 0.02, 0.03, 0.05, 0.10];
+
 fn main() {
     let scale = scale_from_args();
     println!("Ablation: p_min and the derived learning window (scale {scale})\n");
-    for b in [Benchmark::AbRand, Benchmark::Iperf] {
+    const BENCHES: [Benchmark; 2] = [Benchmark::AbRand, Benchmark::Iperf];
+    let rows = sweep_rows("ablation_pmin", &BENCHES, move |b| {
         let full = detailed(b, L2_DEFAULT, scale);
+        let outs: Vec<_> = P_MINS
+            .iter()
+            .map(|&p_min| {
+                let window = learning_window(p_min, 0.95).unwrap();
+                let cfg = AccelConfig {
+                    learning_window: window,
+                    strategy: RelearnStrategy::Statistical {
+                        p_min,
+                        alpha: 0.05,
+                        min_epos: 4,
+                    },
+                    ..AccelConfig::default()
+                };
+                (window, accelerated_with(b, L2_DEFAULT, scale, cfg))
+            })
+            .collect();
+        (full, outs)
+    });
+    for (b, (full, outs)) in BENCHES.into_iter().zip(rows) {
         let mut t = Table::new(["p_min", "window", "coverage", "|error|"]);
-        for p_min in [0.01, 0.02, 0.03, 0.05, 0.10] {
-            let window = learning_window(p_min, 0.95).unwrap();
-            let cfg = AccelConfig {
-                learning_window: window,
-                strategy: RelearnStrategy::Statistical {
-                    p_min,
-                    alpha: 0.05,
-                    min_epos: 4,
-                },
-                ..AccelConfig::default()
-            };
-            let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
+        for (p_min, (window, out)) in P_MINS.into_iter().zip(outs) {
             t.row([
                 format!("{:.0}%", p_min * 100.0),
                 window.to_string(),

@@ -4,7 +4,9 @@
 //! cache contents untouched, so the application (and any still-simulated
 //! services) run against an unrealistically quiet memory system.
 
-use osprey_bench::{accelerated_with, detailed, pct, scale_from_args, statistical, L2_DEFAULT};
+use osprey_bench::{
+    accelerated_with, detailed, pct, scale_from_args, statistical, sweep_rows, L2_DEFAULT,
+};
 use osprey_core::accel::AccelConfig;
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
@@ -13,20 +15,21 @@ fn main() {
     let scale = scale_from_args();
     println!("Ablation: cache pollution model (Statistical strategy, scale {scale})\n");
     let mut t = Table::new(["benchmark", "|err| with pollution", "|err| without"]);
-    for b in Benchmark::OS_INTENSIVE {
+    let rows = sweep_rows("ablation_pollution", &Benchmark::OS_INTENSIVE, move |b| {
         let full = detailed(b, L2_DEFAULT, scale);
-        let mut errs = [0.0f64; 2];
-        for (i, pollution) in [true, false].into_iter().enumerate() {
+        [true, false].map(|pollution| {
             let cfg = AccelConfig {
                 pollution,
                 ..AccelConfig::with_strategy(statistical())
             };
             let out = accelerated_with(b, L2_DEFAULT, scale, cfg);
-            errs[i] = osprey_stats::summary::abs_relative_error(
+            osprey_stats::summary::abs_relative_error(
                 out.report.total_cycles as f64,
                 full.total_cycles as f64,
-            );
-        }
+            )
+        })
+    });
+    for (b, errs) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
         t.row([b.name().to_string(), pct(errs[0]), pct(errs[1])]);
     }
     println!("{t}");

@@ -7,7 +7,7 @@
 //! schemes and compares cluster count, cycle CV, and the cycle-prediction
 //! error of a leave-in lookup.
 
-use osprey_bench::{detailed, scale_from_args, L2_DEFAULT};
+use osprey_bench::{detailed, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_core::signature::{MixPlt, MixSignature};
 use osprey_core::Plt;
 use osprey_report::Table;
@@ -24,8 +24,10 @@ fn main() {
         "cycle CV (count)",
         "cycle CV (mix)",
     ]);
-    for b in Benchmark::OS_INTENSIVE {
-        let report = detailed(b, L2_DEFAULT, scale);
+    let reports = sweep_rows("ablation_signature", &Benchmark::OS_INTENSIVE, move |b| {
+        detailed(b, L2_DEFAULT, scale)
+    });
+    for (b, report) in Benchmark::OS_INTENSIVE.into_iter().zip(reports) {
         let mut per_service: BTreeMap<_, Vec<&osprey_sim::IntervalRecord>> = BTreeMap::new();
         for r in &report.intervals {
             per_service.entry(r.service).or_default().push(r);

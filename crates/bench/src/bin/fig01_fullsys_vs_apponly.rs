@@ -4,7 +4,7 @@
 //! Paper reference: L2 misses up to 405x, execution time up to 126x for
 //! OS-intensive applications; SPEC2000 near 1.0x on every metric.
 
-use osprey_bench::{app_only, detailed, fmt2, scale_from_args, L2_DEFAULT};
+use osprey_bench::{app_only, detailed, fmt2, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
@@ -18,9 +18,13 @@ fn main() {
         "IPC (x)",
         "OS instr frac",
     ]);
-    for b in Benchmark::ALL {
-        let full = detailed(b, L2_DEFAULT, scale);
-        let app = app_only(b, L2_DEFAULT, scale);
+    let rows = sweep_rows("fig01_fullsys_vs_apponly", &Benchmark::ALL, move |b| {
+        (
+            detailed(b, L2_DEFAULT, scale),
+            app_only(b, L2_DEFAULT, scale),
+        )
+    });
+    for (b, (full, app)) in Benchmark::ALL.into_iter().zip(rows) {
         t.row([
             b.name().to_string(),
             fmt2(full.l2_misses() as f64 / app.l2_misses().max(1) as f64),

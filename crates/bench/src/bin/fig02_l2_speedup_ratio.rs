@@ -5,7 +5,7 @@
 //! for OS-intensive applications (iperf reaches 2.03x under full-system
 //! simulation while application-only shows almost nothing).
 
-use osprey_bench::{app_only, detailed, fmt2, scale_from_args};
+use osprey_bench::{app_only, detailed, fmt2, scale_from_args, sweep_rows};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
@@ -13,11 +13,15 @@ fn main() {
     let scale = scale_from_args();
     println!("Fig. 2: speedup of 1 MiB L2 over 512 KiB L2 (scale {scale})\n");
     let mut t = Table::new(["benchmark", "App Only (x)", "App+OS (x)"]);
-    for b in Benchmark::ALL {
-        let app_small = app_only(b, 512 * 1024, scale);
-        let app_big = app_only(b, 1024 * 1024, scale);
-        let full_small = detailed(b, 512 * 1024, scale);
-        let full_big = detailed(b, 1024 * 1024, scale);
+    let rows = sweep_rows("fig02_l2_speedup_ratio", &Benchmark::ALL, move |b| {
+        (
+            app_only(b, 512 * 1024, scale),
+            app_only(b, 1024 * 1024, scale),
+            detailed(b, 512 * 1024, scale),
+            detailed(b, 1024 * 1024, scale),
+        )
+    });
+    for (b, (app_small, app_big, full_small, full_big)) in Benchmark::ALL.into_iter().zip(rows) {
         t.row([
             b.name().to_string(),
             fmt2(app_small.total_cycles as f64 / app_big.total_cycles.max(1) as f64),

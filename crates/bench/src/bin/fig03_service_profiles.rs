@@ -5,14 +5,17 @@
 //! Paper reference: services run a few thousand to a few tens of
 //! thousands of cycles, IPC between 0.09 and 0.47, with large ranges.
 
-use osprey_bench::{detailed, scale_from_args, L2_DEFAULT};
+use osprey_bench::{detailed, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args();
-    for b in [Benchmark::AbRand, Benchmark::AbSeq] {
-        let report = detailed(b, L2_DEFAULT, scale);
+    const BENCHES: [Benchmark; 2] = [Benchmark::AbRand, Benchmark::AbSeq];
+    let reports = sweep_rows("fig03_service_profiles", &BENCHES, move |b| {
+        detailed(b, L2_DEFAULT, scale)
+    });
+    for (b, report) in BENCHES.into_iter().zip(reports) {
         println!("Fig. 3 ({b}): per-service cycles and IPC (mean +/- std dev)\n");
         let mut t = Table::new(["service", "n", "cycles", "+/-", "IPC", "+/-"]);
         for s in report.service_summaries() {

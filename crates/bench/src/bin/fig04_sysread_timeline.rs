@@ -4,15 +4,18 @@
 //! Paper reference: highly variable (≈2,000–50,000 cycles) with a small
 //! number of repeated behavior points; ab-seq shows phase changes.
 
-use osprey_bench::{detailed, scale_from_args, L2_DEFAULT};
+use osprey_bench::{detailed, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_isa::ServiceId;
 use osprey_report::scatter;
 use osprey_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args();
-    for b in [Benchmark::AbRand, Benchmark::AbSeq] {
-        let report = detailed(b, L2_DEFAULT, scale);
+    const BENCHES: [Benchmark; 2] = [Benchmark::AbRand, Benchmark::AbSeq];
+    let reports = sweep_rows("fig04_sysread_timeline", &BENCHES, move |b| {
+        detailed(b, L2_DEFAULT, scale)
+    });
+    for (b, report) in BENCHES.into_iter().zip(reports) {
         let series = report.service_timeline(ServiceId::SysRead);
         println!(
             "Fig. 4 ({b}): sys_read cycles over {} invocations",

@@ -5,7 +5,7 @@
 //! handful of (instructions, cycles) clusters, and for a given
 //! instruction bin the cycles fall in a narrow range.
 
-use osprey_bench::{detailed, scale_from_args, L2_DEFAULT};
+use osprey_bench::{detailed, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_isa::ServiceId;
 use osprey_report::Table;
 use osprey_stats::BubbleHistogram;
@@ -13,8 +13,11 @@ use osprey_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args();
-    for b in [Benchmark::AbRand, Benchmark::AbSeq] {
-        let report = detailed(b, L2_DEFAULT, scale);
+    const BENCHES: [Benchmark; 2] = [Benchmark::AbRand, Benchmark::AbSeq];
+    let reports = sweep_rows("fig05_sysread_bubbles", &BENCHES, move |b| {
+        detailed(b, L2_DEFAULT, scale)
+    });
+    for (b, report) in BENCHES.into_iter().zip(reports) {
         let mut hist = BubbleHistogram::new(1000.0, 4000.0);
         for r in &report.intervals {
             if r.service == ServiceId::SysRead {

@@ -5,7 +5,7 @@
 //! Paper reference: execution-time CV drops ~4.7x on average (0.72 ->
 //! 0.15); IPC CV from 0.13 to 0.08.
 
-use osprey_bench::{detailed, scale_from_args, L2_DEFAULT};
+use osprey_bench::{detailed, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_report::Table;
 use osprey_stats::Streaming;
 use osprey_workloads::Benchmark;
@@ -22,8 +22,10 @@ fn main() {
         "IPC CV clustered",
     ]);
     let mut sums = [0.0f64; 4];
-    for b in Benchmark::OS_INTENSIVE {
-        let report = detailed(b, L2_DEFAULT, scale);
+    let reports = sweep_rows("fig06_cluster_cv", &Benchmark::OS_INTENSIVE, move |b| {
+        detailed(b, L2_DEFAULT, scale)
+    });
+    for (b, report) in Benchmark::OS_INTENSIVE.into_iter().zip(reports) {
         // Group intervals per service.
         let mut per_service: BTreeMap<_, Vec<&osprey_sim::IntervalRecord>> = BTreeMap::new();
         for r in &report.intervals {

@@ -5,13 +5,22 @@
 //! Paper reference: at p_min = 3%, ~100 trials at 95% DoC and a little
 //! over 150 at 99% DoC.
 
+use osprey_bench::run_sweep;
+use osprey_exec::Job;
 use osprey_report::Table;
 use osprey_stats::binomial::window_curve;
 
 fn main() {
     println!("Fig. 7: learning window vs minimum probability of occurrence\n");
-    let c95 = window_curve(0.20, 20, 0.95);
-    let c99 = window_curve(0.20, 20, 0.99);
+    let mut curves = run_sweep(
+        "fig07_learning_window",
+        vec![
+            Job::new("doc-95", || window_curve(0.20, 20, 0.95)),
+            Job::new("doc-99", || window_curve(0.20, 20, 0.99)),
+        ],
+    );
+    let c99 = curves.pop().expect("two curves");
+    let c95 = curves.pop().expect("two curves");
     let mut t = Table::new(["p_min", "N (95% DoC)", "N (99% DoC)"]);
     for (a, b) in c95.iter().zip(&c99) {
         t.row([

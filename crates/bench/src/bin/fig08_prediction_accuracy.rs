@@ -6,7 +6,7 @@
 //! application-only errors reach 39.8%.
 
 use osprey_bench::{
-    accelerated, app_only, detailed, fmt2, scale_from_args, statistical, L2_DEFAULT,
+    accelerated, app_only, detailed, fmt2, scale_from_args, statistical, sweep_rows, L2_DEFAULT,
 };
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
@@ -25,10 +25,18 @@ fn main() {
         "|err| Pred",
     ]);
     let mut errs = Vec::new();
-    for b in Benchmark::OS_INTENSIVE {
-        let full = detailed(b, L2_DEFAULT, scale);
-        let accel = accelerated(b, L2_DEFAULT, scale, statistical());
-        let app = app_only(b, L2_DEFAULT, scale);
+    let rows = sweep_rows(
+        "fig08_prediction_accuracy",
+        &Benchmark::OS_INTENSIVE,
+        move |b| {
+            (
+                detailed(b, L2_DEFAULT, scale),
+                accelerated(b, L2_DEFAULT, scale, statistical()),
+                app_only(b, L2_DEFAULT, scale),
+            )
+        },
+    );
+    for (b, (full, accel, app)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
         let err = osprey_stats::summary::abs_relative_error(
             accel.report.total_cycles as f64,
             full.total_cycles as f64,

@@ -4,7 +4,7 @@
 //! Paper reference: absolute differences of 1% or less (1.4% worst, L2
 //! of find-od).
 
-use osprey_bench::{accelerated, detailed, scale_from_args, statistical, L2_DEFAULT};
+use osprey_bench::{accelerated, detailed, scale_from_args, statistical, sweep_rows, L2_DEFAULT};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
@@ -21,9 +21,17 @@ fn main() {
         "L2 pred",
         "max |diff|",
     ]);
-    for b in Benchmark::OS_INTENSIVE {
-        let full = detailed(b, L2_DEFAULT, scale);
-        let accel = accelerated(b, L2_DEFAULT, scale, statistical());
+    let rows = sweep_rows(
+        "fig09_missrate_accuracy",
+        &Benchmark::OS_INTENSIVE,
+        move |b| {
+            (
+                detailed(b, L2_DEFAULT, scale),
+                accelerated(b, L2_DEFAULT, scale, statistical()),
+            )
+        },
+    );
+    for (b, (full, accel)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
         let rows = [
             (full.l1i_miss_rate(), accel.report.l1i_miss_rate()),
             (full.l1d_miss_rate(), accel.report.l1d_miss_rate()),

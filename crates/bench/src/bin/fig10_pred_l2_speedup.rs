@@ -4,7 +4,9 @@
 //! Paper reference: the accelerated simulation captures the same cache-
 //! size speedups as full simulation; application-only does not.
 
-use osprey_bench::{accelerated, app_only, detailed, fmt2, scale_from_args, statistical};
+use osprey_bench::{
+    accelerated, app_only, detailed, fmt2, scale_from_args, statistical, sweep_rows,
+};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
@@ -13,20 +15,26 @@ fn main() {
     println!("Fig. 10: 1 MiB vs 512 KiB L2 speedup, three simulation methods (scale {scale})\n");
     let mut t = Table::new(["benchmark", "App Only", "App+OS", "App+OS Pred"]);
     let mut gm: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
-    for b in Benchmark::OS_INTENSIVE {
-        let ratios = [
-            app_only(b, 512 * 1024, scale).total_cycles as f64
-                / app_only(b, 1024 * 1024, scale).total_cycles.max(1) as f64,
-            detailed(b, 512 * 1024, scale).total_cycles as f64
-                / detailed(b, 1024 * 1024, scale).total_cycles.max(1) as f64,
-            accelerated(b, 512 * 1024, scale, statistical())
-                .report
-                .total_cycles as f64
-                / accelerated(b, 1024 * 1024, scale, statistical())
+    let rows = sweep_rows(
+        "fig10_pred_l2_speedup",
+        &Benchmark::OS_INTENSIVE,
+        move |b| {
+            [
+                app_only(b, 512 * 1024, scale).total_cycles as f64
+                    / app_only(b, 1024 * 1024, scale).total_cycles.max(1) as f64,
+                detailed(b, 512 * 1024, scale).total_cycles as f64
+                    / detailed(b, 1024 * 1024, scale).total_cycles.max(1) as f64,
+                accelerated(b, 512 * 1024, scale, statistical())
                     .report
-                    .total_cycles
-                    .max(1) as f64,
-        ];
+                    .total_cycles as f64
+                    / accelerated(b, 1024 * 1024, scale, statistical())
+                        .report
+                        .total_cycles
+                        .max(1) as f64,
+            ]
+        },
+    );
+    for (b, ratios) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
         for (i, r) in ratios.iter().enumerate() {
             gm[i].push(*r);
         }

@@ -3,7 +3,7 @@
 //! Paper reference: Best-Match 93% coverage / 9.6% avg error (29% worst);
 //! Eager 74% / 1.5%; Statistical 89% / 3.2%; Delayed 88% / 2.7%.
 
-use osprey_bench::{accelerated, detailed, pct, scale_from_args, L2_DEFAULT};
+use osprey_bench::{accelerated, detailed, pct, scale_from_args, sweep_rows, L2_DEFAULT};
 use osprey_core::RelearnStrategy;
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
@@ -15,12 +15,18 @@ fn main() {
     let mut err = Table::new(["benchmark", "Best-Match", "Statistical", "Delayed", "Eager"]);
     let mut cov_sum = [0.0f64; 4];
     let mut err_sum = [0.0f64; 4];
-    for b in Benchmark::OS_INTENSIVE {
+    let rows = sweep_rows("fig11_strategies", &Benchmark::OS_INTENSIVE, move |b| {
         let full = detailed(b, L2_DEFAULT, scale);
+        let outs: Vec<_> = RelearnStrategy::ALL
+            .iter()
+            .map(|&s| accelerated(b, L2_DEFAULT, scale, s))
+            .collect();
+        (full, outs)
+    });
+    for (b, (full, outs)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
         let mut cov_row = vec![b.name().to_string()];
         let mut err_row = vec![b.name().to_string()];
-        for (i, strategy) in RelearnStrategy::ALL.iter().enumerate() {
-            let out = accelerated(b, L2_DEFAULT, scale, *strategy);
+        for (i, out) in outs.into_iter().enumerate() {
             let e = osprey_stats::summary::abs_relative_error(
                 out.report.total_cycles as f64,
                 full.total_cycles as f64,

@@ -4,7 +4,7 @@
 //! Paper reference: errors stay in the few-percent range across sizes,
 //! slightly declining for larger caches.
 
-use osprey_bench::{accelerated, detailed, pct, scale_from_args, statistical};
+use osprey_bench::{accelerated, detailed, pct, scale_from_args, statistical, sweep_rows};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
@@ -14,15 +14,19 @@ fn main() {
     let sizes = [1024 * 1024u64, 2 * 1024 * 1024, 4 * 1024 * 1024];
     let mut t = Table::new(["benchmark", "1MB", "2MB", "4MB"]);
     let mut sums = [0.0f64; 3];
-    for b in Benchmark::OS_INTENSIVE {
-        let mut row = vec![b.name().to_string()];
-        for (i, &l2) in sizes.iter().enumerate() {
+    let rows = sweep_rows("fig12_l2_sensitivity", &Benchmark::OS_INTENSIVE, move |b| {
+        sizes.map(|l2| {
             let full = detailed(b, l2, scale);
             let out = accelerated(b, l2, scale, statistical());
-            let e = osprey_stats::summary::abs_relative_error(
+            osprey_stats::summary::abs_relative_error(
                 out.report.total_cycles as f64,
                 full.total_cycles as f64,
-            );
+            )
+        })
+    });
+    for (b, errors) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
+        let mut row = vec![b.name().to_string()];
+        for (i, e) in errors.into_iter().enumerate() {
             sums[i] += e;
             row.push(pct(e));
         }

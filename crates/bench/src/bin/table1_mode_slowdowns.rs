@@ -8,15 +8,25 @@
 //! estimates built on it are conservative (see Table 2, which also
 //! reports measured wall-clock speedups).
 
-use osprey_bench::scale_from_args;
+use osprey_bench::{run_sweep, scale_from_args};
 use osprey_core::measure_mode_slowdowns;
+use osprey_exec::Job;
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
 
 fn main() {
     let scale = scale_from_args().min(0.25);
     println!("Table 1: measured per-instruction slowdown of simulation modes\n");
-    let s = measure_mode_slowdowns(Benchmark::AbRand, 1, scale);
+    // One job: mode slowdowns are wall-clock measurements, so they must
+    // run alone rather than share cores with sibling jobs.
+    let s = run_sweep(
+        "table1_mode_slowdowns",
+        vec![Job::new("mode-slowdowns", move || {
+            measure_mode_slowdowns(Benchmark::AbRand, 1, scale)
+        })],
+    )
+    .pop()
+    .expect("one job");
     let mut t = Table::new(["mode", "slowdown (x)"]);
     t.row([
         "emulation (fast-forward)",

@@ -9,7 +9,7 @@
 //! estimates are lower; the paper-ratio column applies Eq. 10 with the
 //! paper's 1/133 for comparison.
 
-use osprey_bench::{accelerated, detailed, scale_from_args, statistical, L2_DEFAULT};
+use osprey_bench::{accelerated, detailed, scale_from_args, statistical, sweep_rows, L2_DEFAULT};
 use osprey_core::{estimated_speedup, measure_mode_slowdowns};
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
@@ -30,9 +30,13 @@ fn main() {
     let mut est = Vec::new();
     let mut paper_est = Vec::new();
     let mut wall = Vec::new();
-    for b in Benchmark::OS_INTENSIVE {
-        let full = detailed(b, L2_DEFAULT, scale);
-        let out = accelerated(b, L2_DEFAULT, scale, statistical());
+    let rows = sweep_rows("table2_speedups", &Benchmark::OS_INTENSIVE, move |b| {
+        (
+            detailed(b, L2_DEFAULT, scale),
+            accelerated(b, L2_DEFAULT, scale, statistical()),
+        )
+    });
+    for (b, (full, out)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
         let n = out.report.total_instructions;
         // X counts only the OS instructions fast-forwarded in emulation;
         // user code and learning periods stay in detailed mode.

@@ -10,8 +10,11 @@
 //! `1.0` (the default) is the paper-like default length of every
 //! workload.
 
+use std::sync::Arc;
+
 use osprey_core::accel::{AccelConfig, AccelOutcome, AcceleratedSim};
 use osprey_core::RelearnStrategy;
+use osprey_exec::{default_workers, run_jobs, Job};
 use osprey_sim::{FullSystemSim, OsMode, RunReport, SimConfig};
 use osprey_workloads::Benchmark;
 
@@ -48,7 +51,7 @@ pub fn detailed(benchmark: Benchmark, l2_bytes: u64, scale: f64) -> RunReport {
             .with_scale(scale)
             .with_l2_bytes(l2_bytes),
     )
-    .run_to_completion()
+    .run()
 }
 
 /// An application-only run (system calls and interrupts skipped).
@@ -60,7 +63,7 @@ pub fn app_only(benchmark: Benchmark, l2_bytes: u64, scale: f64) -> RunReport {
             .with_l2_bytes(l2_bytes)
             .with_os_mode(OsMode::AppOnly),
     )
-    .run_to_completion()
+    .run()
 }
 
 /// An accelerated run with the given re-learning strategy.
@@ -93,6 +96,50 @@ pub fn accelerated_with(
         cfg,
     )
     .run()
+}
+
+/// Runs a set of named jobs through the experiment engine
+/// ([`osprey_exec::run_jobs`]) and returns their values in submission
+/// order.
+///
+/// Worker count comes from [`osprey_exec::default_workers`]
+/// (`$OSPREY_JOBS` or the machine's parallelism). The engine's timing
+/// summary is written to `results/<label>_sweep.json` and echoed to
+/// *stderr*, keeping stdout — the experiment's actual tables — byte
+/// identical whatever the worker count.
+pub fn run_sweep<T: Send + 'static>(label: &str, jobs: Vec<Job<T>>) -> Vec<T> {
+    let run = run_jobs(jobs, default_workers());
+    let summary = run.summary(label);
+    match summary.write_to_results() {
+        Ok(path) => eprintln!(
+            "[osprey-exec] {label}: {} jobs on {} workers, {:.2}x speedup -> {}",
+            summary.jobs.len(),
+            run.workers,
+            run.speedup(),
+            path.display()
+        ),
+        Err(e) => eprintln!("[osprey-exec] warning: {label}_sweep.json not written: {e}"),
+    }
+    run.into_values()
+}
+
+/// Fans `f` out across the engine, one job per benchmark, and returns
+/// the per-benchmark values in the order of `benchmarks` — the
+/// figure-regenerator idiom (each table row becomes one parallel job).
+pub fn sweep_rows<T, F>(label: &str, benchmarks: &[Benchmark], f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Benchmark) -> T + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let jobs = benchmarks
+        .iter()
+        .map(|&b| {
+            let f = Arc::clone(&f);
+            Job::new(b.name(), move || f(b))
+        })
+        .collect();
+    run_sweep(label, jobs)
 }
 
 /// The paper's Statistical strategy at its published operating point.

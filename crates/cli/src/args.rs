@@ -128,6 +128,24 @@ impl ParsedArgs {
         })
     }
 
+    /// Reads the `--jobs` worker-count option. `None` means the option
+    /// was absent, letting each command pick its own default (serial
+    /// for `compare`, whose wall-clock comparison is the point; the
+    /// machine's parallelism for `sweep`).
+    pub fn jobs(&self) -> Result<Option<usize>, ArgError> {
+        match self.options.get("jobs") {
+            None => Ok(None),
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(n) if n > 0 => Ok(Some(n)),
+                _ => Err(ArgError::Invalid {
+                    key: "jobs".into(),
+                    value: raw.clone(),
+                    expected: "a positive worker count",
+                }),
+            },
+        }
+    }
+
     /// Reads the L2 size option, accepting `512K`/`1M`-style suffixes
     /// (default 1 MiB).
     pub fn l2_bytes(&self) -> Result<u64, ArgError> {
@@ -249,6 +267,16 @@ mod tests {
             p.strategy().unwrap(),
             RelearnStrategy::Statistical { .. }
         ));
+    }
+
+    #[test]
+    fn jobs_option_parses_and_validates() {
+        let p = parse(&argv(&["sweep", "--jobs", "4"])).unwrap();
+        assert_eq!(p.jobs().unwrap(), Some(4));
+        let p = parse(&argv(&["sweep"])).unwrap();
+        assert_eq!(p.jobs().unwrap(), None);
+        let p = parse(&argv(&["sweep", "--jobs", "0"])).unwrap();
+        assert!(matches!(p.jobs(), Err(ArgError::Invalid { .. })));
     }
 
     #[test]

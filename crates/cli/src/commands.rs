@@ -1,11 +1,13 @@
 //! CLI subcommand implementations.
 
-use osprey_core::accel::{AccelConfig, AcceleratedSim};
+use osprey_core::accel::{AccelConfig, AccelOutcome, AcceleratedSim};
+use osprey_core::RelearnStrategy;
+use osprey_exec::{default_workers, run_jobs, Job};
 use osprey_report::Table;
 use osprey_sim::{FullSystemSim, OsMode, RunReport, SimConfig};
 use osprey_workloads::Benchmark;
 
-use crate::args::{ArgError, ParsedArgs};
+use crate::args::{benchmark_by_name, ArgError, ParsedArgs};
 
 /// The `osprey help` text.
 pub fn help_text() -> String {
@@ -24,6 +26,16 @@ COMMANDS:
                  --seed <n>           master seed (default 1)
     compare    detailed vs accelerated: coverage, error, wall speedup
                  (same options as run)
+                 --jobs <n>           run the two simulations in parallel
+                                      (default 1: serial, for clean walls)
+    sweep      run a whole benchmark sweep through the experiment engine
+               and record wall-clock scaling in results/BENCH_sweep.json
+                 --benchmarks all|os-intensive|<name,name,...> (default all)
+                 --mode detailed|app-only|accelerated   (default detailed)
+                 --strategy best-match|eager|delayed|statistical
+                 --jobs <n>           worker threads (default: $OSPREY_JOBS
+                                      or the machine's parallelism)
+                 --scale/--l2/--seed  as for run
     services   per-OS-service profile of a detailed run (paper Fig. 3)
                  (same options as run)
     window     learning-window calculator (paper Eq. 3 / Fig. 7)
@@ -97,8 +109,8 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
         .map(String::as_str)
         .unwrap_or("detailed");
     let report = match mode {
-        "detailed" => FullSystemSim::new(cfg).run_to_completion(),
-        "app-only" => FullSystemSim::new(cfg.with_os_mode(OsMode::AppOnly)).run_to_completion(),
+        "detailed" => FullSystemSim::new(cfg).run(),
+        "app-only" => FullSystemSim::new(cfg.with_os_mode(OsMode::AppOnly)).run(),
         "accelerated" => {
             let strategy = parsed.strategy()?;
             let out = AcceleratedSim::new(cfg, AccelConfig::with_strategy(strategy)).run();
@@ -121,11 +133,38 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<String, ArgError> {
     Ok(render_report(&report))
 }
 
+/// One half of a `compare` invocation, so both halves can share the
+/// experiment engine's job type.
+enum CompareHalf {
+    /// The detailed baseline run.
+    Detailed(Box<RunReport>),
+    /// The accelerated run.
+    Accel(Box<AccelOutcome>),
+}
+
 fn cmd_compare(parsed: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = sim_config(parsed)?;
     let strategy = parsed.strategy()?;
-    let detailed = FullSystemSim::new(cfg.clone()).run_to_completion();
-    let accel = AcceleratedSim::new(cfg, AccelConfig::with_strategy(strategy)).run();
+    // Serial by default: the wall-speedup column compares the two runs'
+    // own wall times, which stay cleanest on an otherwise idle machine.
+    // `--jobs 2` runs both simulations concurrently instead.
+    let workers = parsed.jobs()?.unwrap_or(1);
+    let detailed_cfg = cfg.clone();
+    let jobs = vec![
+        Job::new("detailed", move || {
+            CompareHalf::Detailed(Box::new(FullSystemSim::new(detailed_cfg).run()))
+        }),
+        Job::new("accelerated", move || {
+            CompareHalf::Accel(Box::new(
+                AcceleratedSim::new(cfg, AccelConfig::with_strategy(strategy)).run(),
+            ))
+        }),
+    ];
+    let mut halves = run_jobs(jobs, workers).into_values();
+    let (detailed, accel) = match (halves.remove(0), halves.remove(0)) {
+        (CompareHalf::Detailed(d), CompareHalf::Accel(a)) => (*d, *a),
+        _ => unreachable!("engine returns jobs in submission order"),
+    };
     let err = osprey_stats::summary::abs_relative_error(
         accel.report.total_cycles as f64,
         detailed.total_cycles as f64,
@@ -161,9 +200,129 @@ fn cmd_compare(parsed: &ParsedArgs) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Resolves the `--benchmarks` selector: `all`, `os-intensive`, or a
+/// comma-separated list of paper names.
+fn benchmarks_from(parsed: &ParsedArgs) -> Result<Vec<Benchmark>, ArgError> {
+    let raw = parsed
+        .options
+        .get("benchmarks")
+        .map(String::as_str)
+        .unwrap_or("all");
+    match raw {
+        "all" => Ok(Benchmark::ALL.to_vec()),
+        "os-intensive" => Ok(Benchmark::OS_INTENSIVE.to_vec()),
+        list => list
+            .split(',')
+            .map(|name| {
+                benchmark_by_name(name.trim()).ok_or_else(|| ArgError::Invalid {
+                    key: "benchmarks".into(),
+                    value: name.trim().to_string(),
+                    expected: "all, os-intensive, or comma-separated benchmark names",
+                })
+            })
+            .collect(),
+    }
+}
+
+fn cmd_sweep(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let benchmarks = benchmarks_from(parsed)?;
+    let scale = parsed.get_parsed("scale", 1.0, "a positive number")?;
+    let seed = parsed.get_parsed("seed", 1u64, "an integer")?;
+    if scale <= 0.0 {
+        return Err(ArgError::Invalid {
+            key: "scale".into(),
+            value: scale.to_string(),
+            expected: "a positive number",
+        });
+    }
+    let l2 = parsed.l2_bytes()?;
+    let mode = parsed
+        .options
+        .get("mode")
+        .map(String::as_str)
+        .unwrap_or("detailed");
+    let strategy = parsed.strategy()?;
+    let workers = parsed.jobs()?.unwrap_or_else(default_workers);
+    let jobs: Vec<Job<RunReport>> = benchmarks
+        .iter()
+        .map(|&b| {
+            let cfg = SimConfig::new(b)
+                .with_scale(scale)
+                .with_seed(seed)
+                .with_l2_bytes(l2);
+            sweep_job(b, cfg, mode, strategy)
+        })
+        .collect::<Result<_, _>>()?;
+    let run = run_jobs(jobs, workers);
+
+    let mut t = Table::new([
+        "benchmark",
+        "instructions",
+        "cycles",
+        "IPC",
+        "L2 miss rate",
+        "OS intervals",
+    ]);
+    for r in &run.results {
+        t.row([
+            r.value.benchmark.clone(),
+            r.value.total_instructions.to_string(),
+            r.value.total_cycles.to_string(),
+            format!("{:.3}", r.value.ipc()),
+            format!("{:.2}%", r.value.l2_miss_rate() * 100.0),
+            r.value.intervals.len().to_string(),
+        ]);
+    }
+    // Stdout carries only deterministic simulated quantities, so a
+    // parallel sweep's output is byte-identical to a serial one; the
+    // wall-clock scaling goes to results/BENCH_sweep.json and stderr.
+    let summary = run.summary("BENCH");
+    match summary.write_to_results() {
+        Ok(path) => eprintln!(
+            "[osprey-exec] {} jobs on {} workers, serial estimate {:.0} ms, wall {:.0} ms, \
+             speedup {:.2}x -> {}",
+            summary.jobs.len(),
+            run.workers,
+            summary.serial_estimate.as_secs_f64() * 1e3,
+            summary.parallel_wall.as_secs_f64() * 1e3,
+            summary.speedup(),
+            path.display()
+        ),
+        Err(e) => eprintln!("[osprey-exec] warning: BENCH_sweep.json not written: {e}"),
+    }
+    let mut out = t.render();
+    out.push_str("sweep timing recorded in results/BENCH_sweep.json\n");
+    Ok(out)
+}
+
+/// Builds the engine job for one sweep row.
+fn sweep_job(
+    b: Benchmark,
+    cfg: SimConfig,
+    mode: &str,
+    strategy: RelearnStrategy,
+) -> Result<Job<RunReport>, ArgError> {
+    match mode {
+        "detailed" => Ok(Job::sim(b.name(), cfg)),
+        "app-only" => Ok(Job::new(b.name(), move || {
+            FullSystemSim::new(cfg.with_os_mode(OsMode::AppOnly)).run()
+        })),
+        "accelerated" => Ok(Job::new(b.name(), move || {
+            AcceleratedSim::new(cfg, AccelConfig::with_strategy(strategy))
+                .run()
+                .report
+        })),
+        other => Err(ArgError::Invalid {
+            key: "mode".into(),
+            value: other.to_string(),
+            expected: "detailed, app-only, or accelerated",
+        }),
+    }
+}
+
 fn cmd_services(parsed: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = sim_config(parsed)?;
-    let report = FullSystemSim::new(cfg).run_to_completion();
+    let report = FullSystemSim::new(cfg).run();
     let mut t = Table::new([
         "service",
         "count",
@@ -307,6 +466,7 @@ pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
     match parsed.command.as_str() {
         "run" => cmd_run(parsed),
         "compare" => cmd_compare(parsed),
+        "sweep" => cmd_sweep(parsed),
         "services" => cmd_services(parsed),
         "window" => cmd_window(parsed),
         "verify" => cmd_verify(parsed),
@@ -370,6 +530,61 @@ mod tests {
     }
 
     #[test]
+    fn sweep_runs_selected_benchmarks_in_parallel() {
+        let out = run(&[
+            "sweep",
+            "--benchmarks",
+            "du,iperf",
+            "--scale",
+            "0.05",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("du"), "{out}");
+        assert!(out.contains("iperf"), "{out}");
+        assert!(out.contains("BENCH_sweep.json"), "{out}");
+    }
+
+    #[test]
+    fn sweep_output_is_identical_serial_and_parallel() {
+        let base = [
+            "sweep",
+            "--benchmarks",
+            "os-intensive",
+            "--scale",
+            "0.05",
+            "--jobs",
+        ];
+        let mut serial_args: Vec<&str> = base.to_vec();
+        serial_args.push("1");
+        let mut parallel_args: Vec<&str> = base.to_vec();
+        parallel_args.push("4");
+        assert_eq!(run(&serial_args).unwrap(), run(&parallel_args).unwrap());
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_benchmark() {
+        let err = run(&["sweep", "--benchmarks", "nginx"]).unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
+    }
+
+    #[test]
+    fn compare_accepts_jobs_option() {
+        let out = run(&[
+            "compare",
+            "--benchmark",
+            "iperf",
+            "--scale",
+            "0.05",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("coverage"), "{out}");
+    }
+
+    #[test]
     fn services_lists_kernel_services() {
         let out = run(&["services", "--benchmark", "du", "--scale", "0.05"]).unwrap();
         assert!(out.contains("sys_lstat64"));
@@ -418,8 +633,9 @@ mod tests {
     #[test]
     fn help_mentions_every_command() {
         let h = help_text();
-        for cmd in ["run", "compare", "services", "window", "list"] {
+        for cmd in ["run", "compare", "sweep", "services", "window", "list"] {
             assert!(h.contains(cmd));
         }
+        assert!(h.contains("--jobs"));
     }
 }

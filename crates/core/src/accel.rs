@@ -190,7 +190,7 @@ impl AcceleratedSim {
             .collect();
         clusters.sort_by_key(|&(s, _)| s);
         AccelOutcome {
-            report: self.sim.report(),
+            report: self.sim.into_report(),
             stats: self.stats,
             clusters_per_service: clusters,
         }

@@ -46,6 +46,20 @@ impl EmulationCore {
 }
 
 impl Core for EmulationCore {
+    fn step_block(
+        &mut self,
+        spec: &osprey_isa::BlockSpec,
+        seed: u64,
+        mem: &mut Hierarchy,
+        owner: Privilege,
+    ) {
+        // Monomorphized override: `self.step` dispatches statically here,
+        // so the per-instruction loop carries no virtual calls.
+        for instr in spec.generate(seed) {
+            self.step(&instr, mem, owner);
+        }
+    }
+
     fn step(&mut self, instr: &Instruction, _mem: &mut Hierarchy, _owner: Privilege) {
         self.counters.instructions += 1;
         match instr.class {

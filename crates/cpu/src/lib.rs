@@ -49,18 +49,36 @@ pub use emulation::EmulationCore;
 pub use inorder::InOrderCore;
 pub use ooo::OooCore;
 
-use osprey_isa::{Instruction, Privilege};
+use osprey_isa::{BlockSpec, Instruction, Privilege};
 use osprey_mem::Hierarchy;
 
-/// A processor timing model driven one instruction at a time.
+/// A processor timing model driven one instruction — or one whole
+/// block — at a time.
 ///
-/// The simulator feeds every dynamic instruction through [`Core::step`];
-/// the core advances its internal cycle clock and updates the memory
-/// hierarchy. Per-interval cycle counts are obtained by differencing
+/// The simulator feeds dynamic instructions through [`Core::step`], or
+/// whole [`BlockSpec`]s through [`Core::step_block`]; the core advances
+/// its internal cycle clock and updates the memory hierarchy.
+/// Per-interval cycle counts are obtained by differencing
 /// [`Core::cycles`] at interval boundaries.
 pub trait Core {
     /// Executes one instruction.
     fn step(&mut self, instr: &Instruction, mem: &mut Hierarchy, owner: Privilege);
+
+    /// Executes every instruction of `spec`, generated with `seed`.
+    ///
+    /// Semantically identical to stepping each instruction of
+    /// `spec.generate(seed)` through [`Core::step`], but costs one
+    /// virtual call per *block* instead of one per *instruction*: every
+    /// shipped core overrides this with the same loop body so the inner
+    /// loop monomorphizes (the `self.step` call inside a concrete impl
+    /// dispatches statically and inlines). The block generator is an
+    /// allocation-free iterator, so the whole path performs no heap
+    /// allocation.
+    fn step_block(&mut self, spec: &BlockSpec, seed: u64, mem: &mut Hierarchy, owner: Privilege) {
+        for instr in spec.generate(seed) {
+            self.step(&instr, mem, owner);
+        }
+    }
 
     /// Total simulated cycles so far.
     fn cycles(&self) -> u64;

@@ -120,6 +120,20 @@ impl OooCore {
 }
 
 impl Core for OooCore {
+    fn step_block(
+        &mut self,
+        spec: &osprey_isa::BlockSpec,
+        seed: u64,
+        mem: &mut Hierarchy,
+        owner: Privilege,
+    ) {
+        // Monomorphized override: `self.step` dispatches statically here,
+        // so the per-instruction loop carries no virtual calls.
+        for instr in spec.generate(seed) {
+            self.step(&instr, mem, owner);
+        }
+    }
+
     fn step(&mut self, instr: &Instruction, mem: &mut Hierarchy, owner: Privilege) {
         let rob = self.cfg.rob_size as u64;
 

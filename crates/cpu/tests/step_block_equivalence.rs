@@ -1,0 +1,69 @@
+//! `Core::step_block` must be observationally identical to stepping the
+//! same block one instruction at a time: same cycles, same retired
+//! counters, same cache statistics. The simulator's hot path relies on
+//! this equivalence (it only ever calls `step_block`).
+
+use osprey_cpu::{Core, CpuConfig, EmulationCore, InOrderCore, OooCore};
+use osprey_isa::{BlockSpec, InstrMix, MemPattern, Privilege};
+use osprey_mem::{Hierarchy, HierarchyConfig};
+
+/// A branchy, memory-heavy block large enough to exercise the pipeline,
+/// the branch predictor, and all three cache levels.
+fn specs() -> Vec<BlockSpec> {
+    vec![
+        BlockSpec::new(0x40_0000, 20_000),
+        BlockSpec::new(0x1000, 12_000)
+            .with_mix(InstrMix::kernel_control())
+            .with_mem(MemPattern::random(0x800_0000, 256 * 1024))
+            .with_branch_predictability(0.4),
+        BlockSpec::new(0x9000, 8_000)
+            .with_mix(InstrMix::memory_copy())
+            .with_mem(MemPattern::sequential(0x100_0000, 64 * 1024, 8)),
+    ]
+}
+
+/// Runs `specs()` through both paths on fresh core/hierarchy pairs and
+/// asserts every observable matches.
+fn assert_equivalent<C: Core>(mut make: impl FnMut() -> C, label: &str) {
+    let mut stepped = make();
+    let mut blocked = make();
+    let mut mem_stepped = Hierarchy::new(HierarchyConfig::default());
+    let mut mem_blocked = Hierarchy::new(HierarchyConfig::default());
+    for (i, spec) in specs().into_iter().enumerate() {
+        let seed = 1 + i as u64;
+        for instr in spec.generate(seed) {
+            stepped.step(&instr, &mut mem_stepped, Privilege::Kernel);
+        }
+        blocked.step_block(&spec, seed, &mut mem_blocked, Privilege::Kernel);
+    }
+    assert_eq!(stepped.cycles(), blocked.cycles(), "{label}: cycles");
+    assert_eq!(stepped.counters(), blocked.counters(), "{label}: counters");
+    assert_eq!(
+        mem_stepped.snapshot(),
+        mem_blocked.snapshot(),
+        "{label}: cache stats"
+    );
+}
+
+#[test]
+fn ooo_core_step_block_matches_step() {
+    assert_equivalent(|| OooCore::new(CpuConfig::pentium4()), "ooo-cache");
+    assert_equivalent(
+        || OooCore::new(CpuConfig::pentium4_nocache()),
+        "ooo-nocache",
+    );
+}
+
+#[test]
+fn inorder_core_step_block_matches_step() {
+    assert_equivalent(|| InOrderCore::new(CpuConfig::pentium4()), "inorder-cache");
+    assert_equivalent(
+        || InOrderCore::new(CpuConfig::pentium4_nocache()),
+        "inorder-nocache",
+    );
+}
+
+#[test]
+fn emulation_core_step_block_matches_step() {
+    assert_equivalent(EmulationCore::new, "emulation");
+}

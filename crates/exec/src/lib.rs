@@ -1,0 +1,310 @@
+//! The Osprey experiment engine: a dependency-free work-stealing thread
+//! pool for running whole *experiments* (many independent simulations)
+//! in parallel.
+//!
+//! Every figure and table in the paper is a sweep: the same simulator
+//! run once per benchmark, mode, or parameter point. Those runs are
+//! embarrassingly parallel — each owns its machine, workload, and RNG —
+//! so the engine simply hands named [`Job`]s to a pool of
+//! `std::thread` workers that pull the next unstarted job as they
+//! free up, then returns results **in submission order** regardless of
+//! completion order. Because every job is deterministic given its
+//! [`osprey_sim::SimConfig`] and jobs share no state, the simulated
+//! output of a parallel sweep is byte-identical to a serial one; only
+//! the wall-clock columns differ.
+//!
+//! # Examples
+//!
+//! ```
+//! use osprey_exec::{run_jobs, Job};
+//!
+//! let jobs: Vec<Job<u64>> = (0..8)
+//!     .map(|i| Job::new(format!("square-{i}"), move || i * i))
+//!     .collect();
+//! let run = run_jobs(jobs, 4);
+//! // Results come back in submission order, not completion order.
+//! let values: Vec<u64> = run.results.iter().map(|r| r.value).collect();
+//! assert_eq!(values, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! assert!(run.speedup() > 0.0);
+//! ```
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use osprey_sim::{FullSystemSim, RunReport, SimConfig};
+
+pub mod sweep;
+
+pub use sweep::SweepSummary;
+
+/// A named unit of work for the pool: a closure producing a result of
+/// type `T`.
+///
+/// Jobs must be self-contained (`Send`, no shared mutable state) — the
+/// determinism guarantee of [`run_jobs`] relies on it.
+pub struct Job<T> {
+    name: String,
+    work: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T: Send> Job<T> {
+    /// Wraps a closure as a named job.
+    pub fn new(name: impl Into<String>, work: impl FnOnce() -> T + Send + 'static) -> Self {
+        Self {
+            name: name.into(),
+            work: Box::new(work),
+        }
+    }
+
+    /// The job's display name (benchmark, mode, or parameter point).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl Job<RunReport> {
+    /// A job that runs `cfg` through the detailed full-system simulator
+    /// to completion — the common case for figure/table sweeps.
+    pub fn sim(name: impl Into<String>, cfg: SimConfig) -> Self {
+        Self::new(name, move || FullSystemSim::new(cfg).run())
+    }
+}
+
+impl<T> std::fmt::Debug for Job<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job").field("name", &self.name).finish()
+    }
+}
+
+/// One finished job: its name, result value, and wall-clock time.
+#[derive(Debug, Clone)]
+pub struct JobResult<T> {
+    /// The name the job was submitted with.
+    pub name: String,
+    /// Wall-clock time the job's closure took on its worker.
+    pub wall: Duration,
+    /// The closure's return value.
+    pub value: T,
+}
+
+/// Outcome of a [`run_jobs`] sweep: per-job results in submission
+/// order plus pool-level timing.
+#[derive(Debug)]
+pub struct SweepRun<T> {
+    /// Worker threads the pool actually used.
+    pub workers: usize,
+    /// Finished jobs, **in submission order** (not completion order).
+    pub results: Vec<JobResult<T>>,
+    /// Wall-clock time of the whole sweep, submission to last result.
+    pub parallel_wall: Duration,
+}
+
+impl<T> SweepRun<T> {
+    /// Estimated serial wall time: the sum of every job's own wall
+    /// time. This is what a one-worker pool would have taken (modulo
+    /// scheduling noise), and the numerator of [`SweepRun::speedup`].
+    pub fn serial_estimate(&self) -> Duration {
+        self.results.iter().map(|r| r.wall).sum()
+    }
+
+    /// Parallel speedup: serial estimate over actual parallel wall.
+    pub fn speedup(&self) -> f64 {
+        let serial = self.serial_estimate().as_secs_f64();
+        let parallel = self.parallel_wall.as_secs_f64();
+        if parallel > 0.0 {
+            serial / parallel
+        } else {
+            1.0
+        }
+    }
+
+    /// The result values alone, in submission order.
+    pub fn into_values(self) -> Vec<T> {
+        self.results.into_iter().map(|r| r.value).collect()
+    }
+
+    /// Timing summary for `results/*_sweep.json` (see [`sweep`]).
+    pub fn summary(&self, bench: impl Into<String>) -> SweepSummary {
+        SweepSummary {
+            bench: bench.into(),
+            workers: self.workers,
+            jobs: self
+                .results
+                .iter()
+                .map(|r| (r.name.clone(), r.wall))
+                .collect(),
+            serial_estimate: self.serial_estimate(),
+            parallel_wall: self.parallel_wall,
+        }
+    }
+}
+
+/// Picks the pool's worker count: `$OSPREY_JOBS` if set to a positive
+/// integer, else the machine's available parallelism, else 1.
+///
+/// CLI `--jobs N` flags override this by passing `Some(N)` to callers'
+/// plumbing and ultimately an explicit count to [`run_jobs`].
+pub fn default_workers() -> usize {
+    std::env::var("OSPREY_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Runs `jobs` on a pool of `workers` threads and returns their results
+/// in submission order.
+///
+/// Scheduling is work-stealing in the pull sense: idle workers take the
+/// next unstarted job from a shared queue, so a long job never blocks
+/// the others. `workers` is clamped to `1..=jobs.len()`; with one
+/// worker the jobs run inline on the calling thread in submission
+/// order, giving a true serial baseline. Results are reordered into
+/// submission order before returning, so for deterministic jobs the
+/// returned values are identical whatever the worker count.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<T>>, workers: usize) -> SweepRun<T> {
+    let total = jobs.len();
+    let workers = workers.clamp(1, total.max(1));
+    let started = Instant::now();
+
+    if workers <= 1 {
+        let results = jobs
+            .into_iter()
+            .map(|job| {
+                let t0 = Instant::now();
+                let value = (job.work)();
+                JobResult {
+                    name: job.name,
+                    wall: t0.elapsed(),
+                    value,
+                }
+            })
+            .collect();
+        return SweepRun {
+            workers: 1,
+            results,
+            parallel_wall: started.elapsed(),
+        };
+    }
+
+    let queue: Mutex<VecDeque<(usize, Job<T>)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let (tx, rx) = mpsc::channel::<(usize, JobResult<T>)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            s.spawn(move || loop {
+                // Hold the lock only to pop; the job runs lock-free.
+                let next = queue.lock().expect("job queue poisoned").pop_front();
+                let Some((index, job)) = next else { break };
+                let t0 = Instant::now();
+                let value = (job.work)();
+                let result = JobResult {
+                    name: job.name,
+                    wall: t0.elapsed(),
+                    value,
+                };
+                // The receiver outlives the scope; a send can only fail
+                // if the parent panicked, in which case unwinding is
+                // already in progress.
+                let _ = tx.send((index, result));
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<JobResult<T>>> = (0..total).map(|_| None).collect();
+    for (index, result) in rx {
+        slots[index] = Some(result);
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every job reports exactly once"))
+        .collect();
+    SweepRun {
+        workers,
+        results,
+        parallel_wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Give later-submitted jobs less work so they finish first.
+        let jobs: Vec<Job<usize>> = (0..16)
+            .map(|i| {
+                Job::new(format!("job-{i}"), move || {
+                    let spins = (16 - i) * 10_000;
+                    let mut acc = 0usize;
+                    for k in 0..spins {
+                        acc = acc.wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    i
+                })
+            })
+            .collect();
+        let run = run_jobs(jobs, 4);
+        assert_eq!(run.workers, 4);
+        let values: Vec<usize> = run.results.iter().map(|r| r.value).collect();
+        assert_eq!(values, (0..16).collect::<Vec<_>>());
+        for (i, r) in run.results.iter().enumerate() {
+            assert_eq!(r.name, format!("job-{i}"));
+        }
+    }
+
+    #[test]
+    fn one_worker_runs_inline_and_matches_parallel_values() {
+        let make = || -> Vec<Job<u64>> {
+            (0..9)
+                .map(|i| Job::new(format!("j{i}"), move || i * i + 1))
+                .collect()
+        };
+        let serial = run_jobs(make(), 1);
+        let parallel = run_jobs(make(), 3);
+        assert_eq!(serial.workers, 1);
+        assert_eq!(
+            serial.results.iter().map(|r| r.value).collect::<Vec<_>>(),
+            parallel.results.iter().map(|r| r.value).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_job_count() {
+        let jobs = vec![Job::new("only", || 7u8)];
+        let run = run_jobs(jobs, 64);
+        assert_eq!(run.workers, 1);
+        assert_eq!(run.results[0].value, 7);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let run = run_jobs(Vec::<Job<()>>::new(), 4);
+        assert!(run.results.is_empty());
+        assert_eq!(run.workers, 1);
+    }
+
+    #[test]
+    fn summary_totals_are_consistent() {
+        let jobs: Vec<Job<u8>> = (0..4)
+            .map(|i| Job::new(format!("n{i}"), move || i))
+            .collect();
+        let run = run_jobs(jobs, 2);
+        let summary = run.summary("test");
+        assert_eq!(summary.jobs.len(), 4);
+        assert_eq!(summary.serial_estimate, run.serial_estimate());
+        assert!(run.speedup() > 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Sweep timing records: the `results/*_sweep.json` files.
+//!
+//! Every experiment driven through the engine drops a small JSON
+//! document recording how the sweep was scheduled and how long it
+//! took, so wall-clock scaling is tracked alongside the simulated
+//! results. The schema (see DESIGN.md):
+//!
+//! ```json
+//! {
+//!   "bench": "table2",
+//!   "workers": 4,
+//!   "jobs": [ { "name": "ab-rand", "wall_ms": 812.4 }, ... ],
+//!   "serial_estimate_ms": 3100.0,
+//!   "parallel_wall_ms": 921.5,
+//!   "speedup": 3.36
+//! }
+//! ```
+//!
+//! The workspace builds offline with zero dependencies, so the JSON is
+//! emitted by hand here rather than through a serialization crate.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Timing summary of one sweep, ready to serialize.
+///
+/// Built by [`crate::SweepRun::summary`]; only wall-clock quantities
+/// live here — simulated results are deterministic and belong to the
+/// experiment's own output files.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Experiment name (figure/table identifier or CLI sweep label).
+    pub bench: String,
+    /// Worker threads the pool used.
+    pub workers: usize,
+    /// `(job name, wall time)` per job, in submission order.
+    pub jobs: Vec<(String, Duration)>,
+    /// Sum of per-job wall times (what one worker would have taken).
+    pub serial_estimate: Duration,
+    /// Actual wall time of the parallel sweep.
+    pub parallel_wall: Duration,
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a duration as fractional milliseconds with fixed precision,
+/// so the files are stable to diff.
+fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+impl SweepSummary {
+    /// Speedup of the parallel sweep over the serial estimate.
+    pub fn speedup(&self) -> f64 {
+        let parallel = self.parallel_wall.as_secs_f64();
+        if parallel > 0.0 {
+            self.serial_estimate.as_secs_f64() / parallel
+        } else {
+            1.0
+        }
+    }
+
+    /// Renders the summary as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str("  \"jobs\": [\n");
+        for (i, (name, wall)) in self.jobs.iter().enumerate() {
+            let sep = if i + 1 == self.jobs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"wall_ms\": {} }}{sep}\n",
+                escape(name),
+                ms(*wall)
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"serial_estimate_ms\": {},\n",
+            ms(self.serial_estimate)
+        ));
+        out.push_str(&format!(
+            "  \"parallel_wall_ms\": {},\n",
+            ms(self.parallel_wall)
+        ));
+        out.push_str(&format!("  \"speedup\": {:.3}\n", self.speedup()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the summary to `<dir>/<bench>_sweep.json`, creating the
+    /// directory if needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating the directory or writing
+    /// the file.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}_sweep.json", self.bench));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes the summary to the conventional `results/` directory
+    /// (relative to the current working directory) and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from [`SweepSummary::write_to_dir`].
+    pub fn write_to_results(&self) -> std::io::Result<PathBuf> {
+        self.write_to_dir("results")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SweepSummary {
+        SweepSummary {
+            bench: "table2".into(),
+            workers: 4,
+            jobs: vec![
+                ("ab-rand".into(), Duration::from_millis(812)),
+                ("du".into(), Duration::from_millis(303)),
+            ],
+            serial_estimate: Duration::from_millis(1115),
+            parallel_wall: Duration::from_millis(820),
+        }
+    }
+
+    #[test]
+    fn json_contains_every_schema_field() {
+        let json = sample().to_json();
+        for key in [
+            "\"bench\"",
+            "\"workers\"",
+            "\"jobs\"",
+            "\"name\"",
+            "\"wall_ms\"",
+            "\"serial_estimate_ms\"",
+            "\"parallel_wall_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!(json.contains("\"bench\": \"table2\""));
+        assert!(json.contains("\"workers\": 4"));
+    }
+
+    #[test]
+    fn json_is_structurally_balanced() {
+        let json = sample().to_json();
+        let braces = json.matches('{').count() as i64 - json.matches('}').count() as i64;
+        let brackets = json.matches('[').count() as i64 - json.matches(']').count() as i64;
+        assert_eq!(braces, 0);
+        assert_eq!(brackets, 0);
+        // Exactly one trailing-comma-free job list: no ",\n  ]" patterns.
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut s = sample();
+        s.jobs[0].0 = "we\"ird\\name".into();
+        let json = s.to_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    #[test]
+    fn write_to_dir_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!("osprey_sweep_{}", std::process::id()));
+        let path = sample().write_to_dir(&dir).expect("write");
+        assert_eq!(path.file_name().unwrap(), "table2_sweep.json");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(body, sample().to_json());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,64 @@
+//! Parallel-vs-serial determinism (the engine's core guarantee).
+//!
+//! The same job set run on 1 worker and on N workers must produce
+//! identical simulated results — same instruction totals, cycles,
+//! cache counters, and interval counts — for every shipped benchmark.
+//! Only wall-clock fields may differ.
+
+use osprey_exec::{run_jobs, Job};
+use osprey_sim::{RunReport, SimConfig};
+use osprey_workloads::Benchmark;
+
+/// A tiny sweep over the full suite: one detailed run per benchmark.
+fn suite_jobs() -> Vec<Job<RunReport>> {
+    Benchmark::ALL
+        .iter()
+        .map(|&b| {
+            let cfg = SimConfig::new(b).with_scale(0.05).with_seed(11);
+            Job::sim(b.name(), cfg)
+        })
+        .collect()
+}
+
+/// The simulated (non-wall-clock) content of a report, made comparable.
+fn digest(r: &RunReport) -> (String, String, u64, u64, u64, u64, String, usize) {
+    (
+        r.benchmark.clone(),
+        r.mode.clone(),
+        r.total_instructions,
+        r.user_instructions,
+        r.os_instructions,
+        r.total_cycles,
+        format!("{:?}", r.caches),
+        r.intervals.len(),
+    )
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_on_every_benchmark() {
+    let serial = run_jobs(suite_jobs(), 1);
+    let parallel = run_jobs(suite_jobs(), 4);
+    assert_eq!(serial.results.len(), Benchmark::ALL.len());
+    assert_eq!(parallel.results.len(), Benchmark::ALL.len());
+    for (s, p) in serial.results.iter().zip(parallel.results.iter()) {
+        assert_eq!(s.name, p.name, "job order must be submission order");
+        assert_eq!(digest(&s.value), digest(&p.value), "{}", s.name);
+        // Per-interval content, not just counts: identical service
+        // sequence with identical instruction counts and cycles.
+        for (a, b) in s.value.intervals.iter().zip(p.value.intervals.iter()) {
+            assert_eq!(a.service, b.service, "{}", s.name);
+            assert_eq!(a.instructions, b.instructions, "{}", s.name);
+            assert_eq!(a.cycles, b.cycles, "{}", s.name);
+        }
+    }
+}
+
+#[test]
+fn sweep_summary_reports_every_job() {
+    let run = run_jobs(suite_jobs(), 3);
+    let summary = run.summary("determinism");
+    assert_eq!(summary.jobs.len(), Benchmark::ALL.len());
+    let names: Vec<&str> = summary.jobs.iter().map(|(n, _)| n.as_str()).collect();
+    let expected: Vec<&str> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+    assert_eq!(names, expected, "summary preserves submission order");
+}

@@ -58,6 +58,9 @@ pub struct Cache {
     line_shift: u32,
     clock: u64,
     stats: CacheStats,
+    /// Per-set way index of the most recently touched line — the hit
+    /// fast path checks it before scanning the set.
+    mru_way: Vec<u8>,
 }
 
 impl Cache {
@@ -74,6 +77,7 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.is_valid(), "invalid cache geometry: {cfg:?}");
         let num_sets = cfg.num_sets();
+        assert!(cfg.assoc <= u8::MAX as usize, "associativity exceeds 255");
         Self {
             cfg,
             sets: vec![Line::EMPTY; (num_sets as usize) * cfg.assoc],
@@ -82,6 +86,7 @@ impl Cache {
             line_shift: cfg.line.trailing_zeros(),
             clock: 0,
             stats: CacheStats::default(),
+            mru_way: vec![0; num_sets as usize],
         }
     }
 
@@ -117,6 +122,13 @@ impl Cache {
 
     /// Performs one access; on a miss the line is filled (write-allocate)
     /// and the LRU victim, if dirty, is reported for write-back.
+    ///
+    /// Hits take a fast path that never scans for a victim: the set's
+    /// most-recently-touched way is probed first (temporal locality makes
+    /// this the common case), and even when the full set is scanned, the
+    /// invalid/LRU bookkeeping a fill needs is gathered in the same pass —
+    /// a hit returns before any of it is consulted and a miss never
+    /// re-scans the set.
     pub fn access(&mut self, addr: u64, is_write: bool, owner: Privilege) -> AccessOutcome {
         self.clock += 1;
         let clock = self.clock;
@@ -127,9 +139,11 @@ impl Cache {
             Privilege::Kernel => self.stats.os_accesses += 1,
         }
 
-        let lines = self.set_slice(set);
-        // Hit path.
-        for line in lines.iter_mut() {
+        // Fast path: the set's MRU way usually holds the line.
+        let mru = self.mru_way[set] as usize;
+        let a = self.cfg.assoc;
+        {
+            let line = &mut self.sets[set * a + mru];
             if line.valid && line.tag == tag {
                 line.stamp = clock;
                 line.dirty |= is_write;
@@ -141,30 +155,42 @@ impl Cache {
             }
         }
 
+        // Single scan: find the hit while tracking the fill victim (the
+        // first invalid way, else the least-recently-used way).
+        let mut victim_idx = 0usize;
+        let mut best = u64::MAX;
+        let mut invalid: Option<usize> = None;
+        for (i, line) in self.sets[set * a..(set + 1) * a].iter_mut().enumerate() {
+            if line.valid {
+                if line.tag == tag {
+                    line.stamp = clock;
+                    line.dirty |= is_write;
+                    line.owner = owner;
+                    self.mru_way[set] = i as u8;
+                    return AccessOutcome {
+                        hit: true,
+                        writeback: None,
+                    };
+                }
+                if line.stamp < best {
+                    best = line.stamp;
+                    victim_idx = i;
+                }
+            } else if invalid.is_none() {
+                invalid = Some(i);
+            }
+        }
+
         // Miss: fill over an invalid line or the LRU line.
         match owner {
             Privilege::User => self.stats.app_misses += 1,
             Privilege::Kernel => self.stats.os_misses += 1,
         }
+        let victim_idx = invalid.unwrap_or(victim_idx);
         let set_bits = self.num_sets.trailing_zeros();
         let line_shift = self.line_shift;
-        let lines = self.set_slice(set);
-        let victim_idx = {
-            let mut victim = 0;
-            let mut best = u64::MAX;
-            for (i, line) in lines.iter().enumerate() {
-                if !line.valid {
-                    victim = i;
-                    break;
-                }
-                if line.stamp < best {
-                    best = line.stamp;
-                    victim = i;
-                }
-            }
-            victim
-        };
-        let victim = &mut lines[victim_idx];
+        self.mru_way[set] = victim_idx as u8;
+        let victim = &mut self.set_slice(set)[victim_idx];
         let writeback = if victim.valid && victim.dirty {
             let block = (victim.tag << set_bits) | set as u64;
             Some(block << line_shift)

@@ -38,15 +38,25 @@ impl ServiceInvocation {
         self.instr_count()
     }
 
-    /// Iterates the concrete instructions of this invocation.
+    /// Iterates the invocation's blocks paired with the per-block
+    /// generation seed (`seed + i` for block `i`, so blocks differ while
+    /// the whole invocation stays deterministic).
     ///
-    /// Block `i` is generated with `seed + i` so blocks differ while the
-    /// whole invocation stays deterministic.
-    pub fn instructions(&self) -> impl Iterator<Item = osprey_isa::Instruction> + '_ {
+    /// This is the allocation-free unit the simulator's block-batched
+    /// hot path consumes: each `(spec, seed)` pair goes through one
+    /// `Core::step_block` call.
+    pub fn block_seeds(&self) -> impl Iterator<Item = (&BlockSpec, u64)> + '_ {
         self.blocks
             .iter()
             .enumerate()
-            .flat_map(move |(i, b)| b.generate(self.seed.wrapping_add(i as u64)))
+            .map(move |(i, b)| (b, self.seed.wrapping_add(i as u64)))
+    }
+
+    /// Iterates the concrete instructions of this invocation, expanding
+    /// each block of [`ServiceInvocation::block_seeds`] in order. The
+    /// iterator is allocation-free; generation state lives inline.
+    pub fn instructions(&self) -> impl Iterator<Item = osprey_isa::Instruction> + '_ {
+        self.block_seeds().flat_map(|(b, seed)| b.generate(seed))
     }
 }
 
@@ -65,6 +75,20 @@ mod tests {
         };
         assert_eq!(inv.instr_count(), 1200);
         assert_eq!(inv.instructions().count(), 1200);
+    }
+
+    #[test]
+    fn block_seeds_pair_blocks_with_offset_seeds() {
+        let inv = ServiceInvocation {
+            service: ServiceId::SysRead,
+            path: "buffer_hit",
+            blocks: vec![BlockSpec::new(0x1000, 500), BlockSpec::new(0x2000, 700)],
+            seed: 3,
+        };
+        let pairs: Vec<_> = inv.block_seeds().collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0], (&inv.blocks[0], 3));
+        assert_eq!(pairs[1], (&inv.blocks[1], 4));
     }
 
     #[test]

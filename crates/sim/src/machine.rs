@@ -90,15 +90,21 @@ impl FullSystemSim {
         if diags.iter().any(|d| d.is_error()) {
             return Err(diags);
         }
-        Ok(Self::new_unverified(cfg))
+        // Verification drained the workload and advanced the kernel.
+        // Rewind the workload (a cursor reset — instantiation, e.g.
+        // synthesizing a filesystem tree, is the expensive part) and boot
+        // a cold kernel (cheap: empty caches and queues) instead of
+        // instantiating a second workload from scratch.
+        workload.reset();
+        let kernel = Kernel::with_config(cfg.kernel, cfg.seed);
+        Ok(Self::from_parts(cfg, workload, kernel))
     }
 
-    /// Builds a cold machine without the load-time verification pass.
-    fn new_unverified(cfg: SimConfig) -> Self {
+    /// Binds a cold machine around pre-built (unverified) parts.
+    fn from_parts(cfg: SimConfig, workload: Box<dyn Workload>, kernel: Kernel) -> Self {
         let core = cfg.core.build();
         let mem = Hierarchy::new(cfg.hierarchy());
-        let kernel = Kernel::with_config(cfg.kernel, cfg.seed);
-        let workload = cfg.benchmark.instantiate_scaled(cfg.seed, cfg.scale);
+        let records = Vec::with_capacity(workload.len_hint().min(1 << 20));
         Self {
             pollution_rng: SmallRng::seed_from_u64(cfg.seed ^ 0x706f_6c6c),
             core,
@@ -114,7 +120,7 @@ impl FullSystemSim {
             user_blocks: 0,
             seq: 0,
             per_service: [0; ServiceId::ALL.len()],
-            records: Vec::new(),
+            records,
             started: Instant::now(),
             items_consumed: 0,
             measuring: false,
@@ -220,9 +226,10 @@ impl FullSystemSim {
     fn run_user_block(&mut self, spec: &osprey_isa::BlockSpec) {
         self.user_blocks += 1;
         let seed = self.cfg.seed ^ self.user_blocks.wrapping_mul(0x517c_c1b7_2722_0a95);
-        for instr in spec.generate(seed) {
-            self.core.step(&instr, &mut self.mem, Privilege::User);
-        }
+        // One virtual call for the whole block; the core's monomorphized
+        // override runs the per-instruction loop.
+        self.core
+            .step_block(spec, seed, &mut self.mem, Privilege::User);
         self.instret += spec.instr_count;
         self.user_instructions += spec.instr_count;
     }
@@ -233,8 +240,9 @@ impl FullSystemSim {
         let cycles0 = self.core.cycles();
         let snap0 = self.mem.snapshot();
         let counters0 = *self.core.counters();
-        for instr in inv.instructions() {
-            self.core.step(&instr, &mut self.mem, Privilege::Kernel);
+        for (block, seed) in inv.block_seeds() {
+            self.core
+                .step_block(block, seed, &mut self.mem, Privilege::Kernel);
         }
         let n = inv.instr_count();
         self.instret += n;
@@ -315,6 +323,10 @@ impl FullSystemSim {
 
     /// Runs the whole workload in the configured mode, executing every
     /// OS service in detail, and returns the final report.
+    ///
+    /// Callers that are done with the machine afterwards should prefer
+    /// [`FullSystemSim::run`], which hands the interval records to the
+    /// report instead of cloning them.
     pub fn run_to_completion(&mut self) -> RunReport {
         while let Some(inv) = self.advance_to_service() {
             self.execute_service(&inv);
@@ -322,9 +334,19 @@ impl FullSystemSim {
         self.report()
     }
 
-    /// Builds a report of everything simulated in the measurement region
-    /// (warm-up activity is excluded).
-    pub fn report(&self) -> RunReport {
+    /// Runs the whole workload to completion and consumes the machine,
+    /// moving the interval records into the report (no clone).
+    pub fn run(mut self) -> RunReport {
+        while let Some(inv) = self.advance_to_service() {
+            self.execute_service(&inv);
+        }
+        self.into_report()
+    }
+
+    /// Report fields shared by [`FullSystemSim::report`] and
+    /// [`FullSystemSim::into_report`]; `intervals` is supplied by the
+    /// caller (cloned or moved).
+    fn report_with(&self, intervals: Vec<IntervalRecord>) -> RunReport {
         let measured = self.mem.snapshot().delta(&self.base_caches);
         let mut caches = measured;
         caches.add(&self.extra_caches);
@@ -337,9 +359,24 @@ impl FullSystemSim {
             total_cycles: self.total_cycles() - self.base_cycles,
             caches,
             measured_caches: measured,
-            intervals: self.records.clone(),
+            intervals,
             wall: self.started.elapsed(),
         }
+    }
+
+    /// Builds a report of everything simulated in the measurement region
+    /// (warm-up activity is excluded), cloning the interval records so
+    /// the machine can keep running.
+    pub fn report(&self) -> RunReport {
+        self.report_with(self.records.clone())
+    }
+
+    /// Consumes the machine and builds the final report, moving the
+    /// interval records instead of cloning them — the cheap path for
+    /// run-to-completion callers.
+    pub fn into_report(mut self) -> RunReport {
+        let records = std::mem::take(&mut self.records);
+        self.report_with(records)
     }
 }
 

@@ -68,6 +68,20 @@ pub trait Workload {
     fn warmup_items(&self) -> usize {
         0
     }
+
+    /// Rewinds the workload to its initial state so the exact same item
+    /// sequence replays, without paying instantiation again (the
+    /// expensive part of e.g. the Unix-tool workloads is generating the
+    /// synthetic filesystem tree, not iterating it). Lets the simulator
+    /// verify a program by draining the workload and then execute the
+    /// very same instance.
+    fn reset(&mut self);
+
+    /// Items remaining, or 0 when unknown — a capacity hint only, never
+    /// a promise about termination.
+    fn len_hint(&self) -> usize {
+        0
+    }
 }
 
 /// The paper's benchmark suite.
@@ -180,7 +194,10 @@ impl std::fmt::Display for Benchmark {
 #[derive(Debug, Clone)]
 pub struct ScriptedWorkload {
     name: &'static str,
-    items: std::collections::VecDeque<WorkItem>,
+    items: Vec<WorkItem>,
+    /// Cursor into `items`; iteration never consumes the script, so
+    /// [`Workload::reset`] is a cursor rewind.
+    pos: usize,
     warmup: usize,
 }
 
@@ -189,7 +206,8 @@ impl ScriptedWorkload {
     pub fn new(name: &'static str, items: Vec<WorkItem>) -> Self {
         Self {
             name,
-            items: items.into(),
+            items,
+            pos: 0,
             warmup: 0,
         }
     }
@@ -207,7 +225,7 @@ impl ScriptedWorkload {
 
     /// Items remaining.
     pub fn remaining(&self) -> usize {
-        self.items.len()
+        self.items.len() - self.pos
     }
 }
 
@@ -217,11 +235,21 @@ impl Workload for ScriptedWorkload {
     }
 
     fn next_item(&mut self) -> Option<WorkItem> {
-        self.items.pop_front()
+        let item = self.items.get(self.pos).copied();
+        self.pos += usize::from(item.is_some());
+        item
     }
 
     fn warmup_items(&self) -> usize {
         self.warmup
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+
+    fn len_hint(&self) -> usize {
+        self.remaining()
     }
 }
 
@@ -255,6 +283,19 @@ mod tests {
                 assert!(count < 2_000_000, "workload must terminate");
             }
             assert!(count > 0, "{b} produced no items");
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_identical_sequence() {
+        for b in [Benchmark::AbRand, Benchmark::Du, Benchmark::Gzip] {
+            let mut wl = b.instantiate_scaled(4, 0.05);
+            let first: Vec<_> = std::iter::from_fn(|| wl.next_item()).collect();
+            assert_eq!(wl.len_hint(), 0, "{b}: drained");
+            wl.reset();
+            assert_eq!(wl.len_hint(), first.len(), "{b}: rewound");
+            let second: Vec<_> = std::iter::from_fn(|| wl.next_item()).collect();
+            assert_eq!(first, second, "{b}: replay must be identical");
         }
     }
 

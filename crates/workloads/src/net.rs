@@ -91,6 +91,14 @@ impl Workload for IperfWorkload {
     fn warmup_items(&self) -> usize {
         self.inner.warmup_items()
     }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn len_hint(&self) -> usize {
+        self.inner.len_hint()
+    }
 }
 
 #[cfg(test)]

@@ -155,6 +155,14 @@ impl Workload for SpecWorkload {
     fn next_item(&mut self) -> Option<WorkItem> {
         self.inner.next_item()
     }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn len_hint(&self) -> usize {
+        self.inner.len_hint()
+    }
 }
 
 #[cfg(test)]

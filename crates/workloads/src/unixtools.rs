@@ -121,6 +121,14 @@ impl Workload for DuWorkload {
     fn warmup_items(&self) -> usize {
         self.inner.warmup_items()
     }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn len_hint(&self) -> usize {
+        self.inner.len_hint()
+    }
 }
 
 /// `find /usr -type f -exec od {} \;`: walks directories and runs `od`
@@ -197,6 +205,14 @@ impl Workload for FindOdWorkload {
 
     fn warmup_items(&self) -> usize {
         self.inner.warmup_items()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn len_hint(&self) -> usize {
+        self.inner.len_hint()
     }
 }
 

@@ -120,6 +120,14 @@ impl Workload for AbWorkload {
     fn warmup_items(&self) -> usize {
         self.inner.warmup_items()
     }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn len_hint(&self) -> usize {
+        self.inner.len_hint()
+    }
 }
 
 /// Application compute block for request `i`.
