@@ -37,4 +37,23 @@ awk 'BEGIN { b = 0; k = 0 }
      END { exit (b != 0 || k != 0) }' results/BENCH_sweep.json
 echo "results/BENCH_sweep.json written and well-formed."
 
+echo "=== trace smoke: record -> replay -> verify ==="
+TRACE=results/traces/ci_smoke.ospt
+mkdir -p results/traces
+rm -f "$TRACE"
+./target/release/osprey record --benchmark du --scale 0.05 --seed 3 \
+    --out "$TRACE" > results/traces/ci_record.out
+test -s "$TRACE"
+# The evaluation section `record` printed comes from the replay engine,
+# so replaying the trace live must reproduce it byte for byte (the first
+# line of record output is the "recorded ... -> ..." banner).
+./target/release/osprey replay --trace "$TRACE" --jobs 2 \
+    > results/traces/ci_replay.out
+tail -n +2 results/traces/ci_record.out \
+    | diff - results/traces/ci_replay.out
+# Structural checks pass and trace-info exits 0 on an honest recording.
+./target/release/osprey trace-info --trace "$TRACE" > /dev/null
+./target/release/osprey verify --trace "$TRACE" > /dev/null
+echo "record -> replay byte-identical; trace-info and verify clean."
+
 echo "CI green."

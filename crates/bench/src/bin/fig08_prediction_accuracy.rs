@@ -4,9 +4,18 @@
 //!
 //! Paper reference: average absolute error 3.2%, worst case 4.2% (du);
 //! application-only errors reach 39.8%.
+//!
+//! Record-once/replay-many: each benchmark's detailed run is recorded
+//! into `results/traces/` exactly once; the predictor is then evaluated
+//! offline from the trace ([`osprey_trace::ReplaySim`]), never paying
+//! detailed-simulation cost again. The wall-time ratio goes to
+//! `results/fig08_prediction_accuracy_replay.json`.
+
+use std::time::Duration;
 
 use osprey_bench::{
-    accelerated, app_only, detailed, fmt2, scale_from_args, statistical, sweep_rows, L2_DEFAULT,
+    app_only, fmt2, record_trace, replay_strategy, scale_from_args, statistical, sweep_rows,
+    write_replay_summary, L2_DEFAULT,
 };
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
@@ -29,14 +38,18 @@ fn main() {
         "fig08_prediction_accuracy",
         &Benchmark::OS_INTENSIVE,
         move |b| {
-            (
-                detailed(b, L2_DEFAULT, scale),
-                accelerated(b, L2_DEFAULT, scale, statistical()),
-                app_only(b, L2_DEFAULT, scale),
-            )
+            let (trace, full, record_wall) = record_trace("fig08", b, L2_DEFAULT, scale);
+            let app = app_only(b, L2_DEFAULT, scale);
+            let (pred, replay_wall) = replay_strategy(&trace, statistical());
+            (full, pred, app, record_wall, replay_wall)
         },
     );
-    for (b, (full, accel, app)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
+    let mut jobs = Vec::new();
+    let (mut record_wall, mut replay_wall) = (Duration::ZERO, Duration::ZERO);
+    for (b, (full, accel, app, rec, rep)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
+        jobs.push((b.name().to_string(), rep));
+        record_wall += rec;
+        replay_wall += rep;
         let err = osprey_stats::summary::abs_relative_error(
             accel.report.total_cycles as f64,
             full.total_cycles as f64,
@@ -60,6 +73,13 @@ fn main() {
         "average |error| {:.1}%, worst {:.1}% (paper: 3.2% / 4.2%)",
         avg * 100.0,
         worst * 100.0
+    );
+    // The wall-time ratio is stderr + JSON only, keeping stdout byte-
+    // identical whatever the machine or worker count.
+    write_replay_summary("fig08_prediction_accuracy", jobs, record_wall, replay_wall);
+    println!(
+        "predictor evaluated offline from results/traces/ (wall-time ratio in \
+         results/fig08_prediction_accuracy_replay.json)"
     );
     println!("Expected shape (paper): Pred column tracks 1.00 closely; AppOnly");
     println!("drastically underestimates execution time for every benchmark.");

@@ -2,8 +2,19 @@
 //!
 //! Paper reference: Best-Match 93% coverage / 9.6% avg error (29% worst);
 //! Eager 74% / 1.5%; Statistical 89% / 3.2%; Delayed 88% / 2.7%.
+//!
+//! Record-once/replay-many: each benchmark's detailed run is recorded
+//! into `results/traces/` exactly once; all four strategies are then
+//! evaluated offline from the same trace ([`osprey_trace::ReplaySim`])
+//! instead of re-simulating the machine per strategy. The wall-time
+//! ratio goes to `results/fig11_strategies_replay.json`.
 
-use osprey_bench::{accelerated, detailed, pct, scale_from_args, sweep_rows, L2_DEFAULT};
+use std::time::Duration;
+
+use osprey_bench::{
+    pct, record_trace, replay_strategy, scale_from_args, sweep_rows, write_replay_summary,
+    L2_DEFAULT,
+};
 use osprey_core::RelearnStrategy;
 use osprey_report::Table;
 use osprey_workloads::Benchmark;
@@ -16,17 +27,22 @@ fn main() {
     let mut cov_sum = [0.0f64; 4];
     let mut err_sum = [0.0f64; 4];
     let rows = sweep_rows("fig11_strategies", &Benchmark::OS_INTENSIVE, move |b| {
-        let full = detailed(b, L2_DEFAULT, scale);
+        let (trace, full, record_wall) = record_trace("fig11", b, L2_DEFAULT, scale);
         let outs: Vec<_> = RelearnStrategy::ALL
             .iter()
-            .map(|&s| accelerated(b, L2_DEFAULT, scale, s))
+            .map(|&s| replay_strategy(&trace, s))
             .collect();
-        (full, outs)
+        (full, outs, record_wall)
     });
-    for (b, (full, outs)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
+    let mut jobs = Vec::new();
+    let (mut record_wall, mut replay_wall) = (Duration::ZERO, Duration::ZERO);
+    for (b, (full, outs, rec)) in Benchmark::OS_INTENSIVE.into_iter().zip(rows) {
+        record_wall += rec;
         let mut cov_row = vec![b.name().to_string()];
         let mut err_row = vec![b.name().to_string()];
-        for (i, out) in outs.into_iter().enumerate() {
+        for ((i, strategy), (out, wall)) in RelearnStrategy::ALL.iter().enumerate().zip(outs) {
+            jobs.push((format!("{}/{}", b.name(), strategy.name()), wall));
+            replay_wall += wall;
             let e = osprey_stats::summary::abs_relative_error(
                 out.report.total_cycles as f64,
                 full.total_cycles as f64,
@@ -56,6 +72,13 @@ fn main() {
     ]);
     println!("(a) coverage\n{cov}");
     println!("(b) absolute prediction error\n{err}");
+    // One trace per benchmark feeds all four strategy evaluations; the
+    // wall-time ratio is stderr + JSON only (stdout stays deterministic).
+    write_replay_summary("fig11_strategies", jobs, record_wall, replay_wall);
+    println!(
+        "strategies evaluated offline from results/traces/ (wall-time ratio in \
+         results/fig11_strategies_replay.json)"
+    );
     println!("Expected shape (paper): coverage Best-Match >= Statistical ~ Delayed >");
     println!("Eager; error Best-Match worst (dominated by ab-seq), Eager best,");
     println!("Statistical/Delayed close to Eager at near-Best-Match coverage.");

@@ -10,12 +10,15 @@
 //! `1.0` (the default) is the paper-like default length of every
 //! workload.
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use osprey_core::accel::{AccelConfig, AccelOutcome, AcceleratedSim};
 use osprey_core::RelearnStrategy;
-use osprey_exec::{default_workers, run_jobs, Job};
+use osprey_exec::{default_workers, run_jobs, Job, ReplaySummary};
 use osprey_sim::{FullSystemSim, OsMode, RunReport, SimConfig};
+use osprey_trace::{ReplayOutcome, ReplaySim, Trace, TraceReader};
 use osprey_workloads::Benchmark;
 
 /// Master seed shared by every experiment run.
@@ -142,6 +145,87 @@ where
     run_sweep(label, jobs)
 }
 
+/// Records one detailed run into `results/traces/<label>_<bench>.ospt`
+/// and returns the decoded trace, the live detailed report, and the
+/// recording wall time — the "record once" half of the record-once/
+/// replay-many experiment idiom.
+///
+/// The trace file is best-effort: failing to write it only warns on
+/// stderr, since the in-memory trace is what the experiment replays.
+///
+/// # Panics
+///
+/// Panics if the just-recorded byte stream fails to decode (a trace
+/// format bug, not an experiment condition).
+pub fn record_trace(
+    label: &str,
+    benchmark: Benchmark,
+    l2_bytes: u64,
+    scale: f64,
+) -> (Trace, RunReport, Duration) {
+    let cfg = SimConfig::new(benchmark)
+        .with_seed(SEED)
+        .with_scale(scale)
+        .with_l2_bytes(l2_bytes);
+    let started = Instant::now();
+    let (bytes, live) = osprey_trace::record_bytes(&cfg, osprey_sim::DEFAULT_SNAPSHOT_EVERY);
+    let wall = started.elapsed();
+    let dir = PathBuf::from("results/traces");
+    let path = dir.join(format!("{label}_{}.ospt", benchmark.name()));
+    if let Err(e) = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, &bytes)) {
+        eprintln!(
+            "[osprey-trace] warning: {} not written: {e}",
+            path.display()
+        );
+    }
+    let trace = TraceReader::from_bytes(&bytes).expect("just-recorded trace decodes");
+    (trace, live, wall)
+}
+
+/// Replays one predictor configuration over a recorded trace — the
+/// "replay many" half — returning the outcome and its wall time.
+///
+/// # Panics
+///
+/// Panics if the trace is not a completed detailed recording (which
+/// [`record_trace`] always produces).
+pub fn replay_strategy(trace: &Trace, strategy: RelearnStrategy) -> (ReplayOutcome, Duration) {
+    let started = Instant::now();
+    let outcome = ReplaySim::new(trace, AccelConfig::with_strategy(strategy))
+        .expect("recorded traces are detailed and complete")
+        .run();
+    (outcome, started.elapsed())
+}
+
+/// Writes the record-vs-replay wall-time ratio to
+/// `results/<label>_replay.json` and echoes it to stderr, mirroring
+/// [`run_sweep`]'s handling of `*_sweep.json`. Returns the speedup.
+pub fn write_replay_summary(
+    label: &str,
+    jobs: Vec<(String, Duration)>,
+    record_wall: Duration,
+    replay_wall: Duration,
+) -> f64 {
+    let summary = ReplaySummary {
+        bench: label.to_string(),
+        jobs,
+        record_wall,
+        replay_wall,
+    };
+    match summary.write_to_results() {
+        Ok(path) => eprintln!(
+            "[osprey-trace] {label}: replay {:.1}x faster than re-simulation \
+             (record {:.0} ms, replay {:.0} ms) -> {}",
+            summary.speedup(),
+            record_wall.as_secs_f64() * 1e3,
+            replay_wall.as_secs_f64() * 1e3,
+            path.display()
+        ),
+        Err(e) => eprintln!("[osprey-trace] warning: {label}_replay.json not written: {e}"),
+    }
+    summary.speedup()
+}
+
 /// The paper's Statistical strategy at its published operating point.
 pub fn statistical() -> RelearnStrategy {
     RelearnStrategy::Statistical {
@@ -179,6 +263,24 @@ mod tests {
         assert!(det.total_cycles > app.total_cycles);
         let acc = accelerated(Benchmark::Iperf, L2_DEFAULT, 0.02, statistical());
         assert_eq!(acc.report.total_instructions, det.total_instructions);
+    }
+
+    #[test]
+    fn record_once_replay_many_reproduces_the_live_run() {
+        let (trace, live, record_wall) =
+            record_trace("benchlib_test", Benchmark::Du, L2_DEFAULT, 0.02);
+        assert_eq!(trace.intervals().count(), live.intervals.len());
+        // Replaying every strategy reuses the single recording.
+        let mut jobs = Vec::new();
+        let mut replay_wall = Duration::ZERO;
+        for s in RelearnStrategy::ALL {
+            let (outcome, wall) = replay_strategy(&trace, s);
+            assert_eq!(outcome.report.total_instructions, live.total_instructions);
+            jobs.push((format!("du/{}", s.name()), wall));
+            replay_wall += wall;
+        }
+        let speedup = write_replay_summary("benchlib_test", jobs, record_wall, replay_wall);
+        assert!(speedup > 0.0);
     }
 
     #[test]

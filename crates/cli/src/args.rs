@@ -32,6 +32,15 @@ pub enum ArgError {
         /// What was expected.
         expected: &'static str,
     },
+    /// A trace or checkpoint operation failed with a typed diagnostic
+    /// (`OSPT0xx`).
+    Trace(osprey_report::Diagnostic),
+}
+
+impl From<osprey_report::Diagnostic> for ArgError {
+    fn from(diag: osprey_report::Diagnostic) -> Self {
+        ArgError::Trace(diag)
+    }
 }
 
 impl std::fmt::Display for ArgError {
@@ -48,6 +57,7 @@ impl std::fmt::Display for ArgError {
                 f,
                 "invalid value `{value}` for --{key}: expected {expected}"
             ),
+            ArgError::Trace(d) => write!(f, "{} [{}]: {}", d.code, d.location, d.message),
         }
     }
 }
@@ -143,6 +153,46 @@ impl ParsedArgs {
                     expected: "a positive worker count",
                 }),
             },
+        }
+    }
+
+    /// Reads the required `--trace <file>` option.
+    pub fn trace_path(&self) -> Result<std::path::PathBuf, ArgError> {
+        self.options
+            .get("trace")
+            .map(std::path::PathBuf::from)
+            .ok_or(ArgError::Invalid {
+                key: "trace".into(),
+                value: "(missing)".into(),
+                expected: "a trace file path (--trace <file>)",
+            })
+    }
+
+    /// Reads the `--strategies` selector: `all` or a comma-separated
+    /// list of strategy names. Falls back to the single `--strategy`
+    /// option (default `statistical`) when absent.
+    pub fn strategies(&self) -> Result<Vec<(String, RelearnStrategy)>, ArgError> {
+        const ALL: [&str; 4] = ["best-match", "eager", "delayed", "statistical"];
+        let named = |name: &str| -> Result<(String, RelearnStrategy), ArgError> {
+            strategy_by_name(name)
+                .map(|s| (name.to_string(), s))
+                .ok_or(ArgError::Invalid {
+                    key: "strategies".into(),
+                    value: name.to_string(),
+                    expected: "all, or comma-separated strategy names",
+                })
+        };
+        match self.options.get("strategies").map(String::as_str) {
+            None => {
+                let name = self
+                    .options
+                    .get("strategy")
+                    .map(String::as_str)
+                    .unwrap_or("statistical");
+                Ok(vec![(name.to_string(), self.strategy()?)])
+            }
+            Some("all") => ALL.iter().map(|n| named(n)).collect(),
+            Some(list) => list.split(',').map(|n| named(n.trim())).collect(),
         }
     }
 
@@ -277,6 +327,33 @@ mod tests {
         assert_eq!(p.jobs().unwrap(), None);
         let p = parse(&argv(&["sweep", "--jobs", "0"])).unwrap();
         assert!(matches!(p.jobs(), Err(ArgError::Invalid { .. })));
+    }
+
+    #[test]
+    fn strategies_selector_resolves_lists_and_defaults() {
+        let p = parse(&argv(&["replay", "--strategies", "best-match, eager"])).unwrap();
+        let list = p.strategies().unwrap();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].0, "best-match");
+        assert_eq!(list[1].1, RelearnStrategy::Eager);
+
+        let p = parse(&argv(&["replay", "--strategies", "all"])).unwrap();
+        assert_eq!(p.strategies().unwrap().len(), 4);
+
+        let p = parse(&argv(&["replay", "--strategy", "eager"])).unwrap();
+        let list = p.strategies().unwrap();
+        assert_eq!(list, vec![("eager".to_string(), RelearnStrategy::Eager)]);
+
+        let p = parse(&argv(&["replay", "--strategies", "psychic"])).unwrap();
+        assert!(matches!(p.strategies(), Err(ArgError::Invalid { .. })));
+    }
+
+    #[test]
+    fn trace_path_is_required() {
+        let p = parse(&argv(&["replay", "--trace", "a.ospt"])).unwrap();
+        assert_eq!(p.trace_path().unwrap(), std::path::PathBuf::from("a.ospt"));
+        let p = parse(&argv(&["replay"])).unwrap();
+        assert!(matches!(p.trace_path(), Err(ArgError::Invalid { .. })));
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! CLI subcommand implementations.
 
+use std::path::PathBuf;
+use std::sync::Arc;
+
 use osprey_core::accel::{AccelConfig, AccelOutcome, AcceleratedSim};
 use osprey_core::RelearnStrategy;
 use osprey_exec::{default_workers, run_jobs, Job};
 use osprey_report::Table;
 use osprey_sim::{FullSystemSim, OsMode, RunReport, SimConfig};
+use osprey_trace::{verify_trace, ReplayOutcome, ReplaySim, TraceEvent, TraceReader};
 use osprey_workloads::Benchmark;
 
 use crate::args::{benchmark_by_name, ArgError, ParsedArgs};
@@ -40,6 +44,25 @@ COMMANDS:
                  (same options as run)
     window     learning-window calculator (paper Eq. 3 / Fig. 7)
                  --pmin <f>  (default 0.03)   --doc <f>  (default 0.95)
+    record     record one detailed run into a binary trace file
+                 --out <file>         trace path (default
+                                      results/traces/<bench>_seed<seed>.ospt)
+                 --snapshot-every <n> intervals between counter snapshots
+                                      (default 64)
+                 --strategy <name>    strategy for the printed replay
+                                      evaluation (default statistical)
+                 --benchmark/--scale/--l2/--seed  as for run
+    replay     re-evaluate predictor configurations from a trace, never
+               re-simulating; output is byte-identical to the evaluation
+               section `record` printed
+                 --trace <file>       recorded trace (required)
+                 --strategies all|<name,name,...>  fan out one job per
+                                      strategy (default: the --strategy)
+                 --jobs <n>           worker threads (default: $OSPREY_JOBS
+                                      or the machine's parallelism)
+    trace-info decode a trace and print its header, event counts, and
+               structural checks; corrupt or skewed files exit nonzero
+                 --trace <file>       recorded trace (required)
     verify     static program verification (privilege bracketing, spec
                well-formedness, dead blocks, interval bounds)
                  --benchmark <name>   verify one benchmark (default iperf)
@@ -47,6 +70,8 @@ COMMANDS:
                  --seed <n>           master seed (default 1)
                  --fixture <name>     verify a broken fixture instead
                  --fixture all        run every broken fixture
+                 --trace <file>       run structural trace checks
+                                      (OSPT01x) on a recording instead
                  --format table|csv   diagnostics output (default table)
     list       list available benchmarks
     help       this text
@@ -320,6 +345,176 @@ fn sweep_job(
     }
 }
 
+/// Renders a replayed outcome. Shared by `record` (its evaluation
+/// section) and `replay`, and deliberately free of wall-clock times, so
+/// the two commands' stdout agree byte for byte.
+fn render_replay(strategy: &str, outcome: &ReplayOutcome) -> String {
+    let r = &outcome.report;
+    let mut t = Table::new(["metric", "value"]);
+    t.row(["benchmark", r.benchmark.as_str()]);
+    t.row(["strategy", strategy]);
+    t.row(["instructions", &r.total_instructions.to_string()]);
+    t.row(["cycles", &r.total_cycles.to_string()]);
+    t.row(["IPC", &format!("{:.3}", r.ipc())]);
+    t.row(["L2 miss rate", &format!("{:.2}%", r.l2_miss_rate() * 100.0)]);
+    t.row(["OS intervals", &r.intervals.len().to_string()]);
+    t.row(["coverage", &format!("{:.1}%", outcome.coverage() * 100.0)]);
+    t.row([
+        "re-learning events",
+        &outcome.stats.relearn_events().to_string(),
+    ]);
+    t.render()
+}
+
+fn cmd_record(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let cfg = sim_config(parsed)?;
+    let snapshot_every = parsed.get_parsed(
+        "snapshot-every",
+        osprey_sim::DEFAULT_SNAPSHOT_EVERY,
+        "a positive interval count",
+    )?;
+    if snapshot_every == 0 {
+        return Err(ArgError::Invalid {
+            key: "snapshot-every".into(),
+            value: "0".into(),
+            expected: "a positive interval count",
+        });
+    }
+    let path = match parsed.options.get("out") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from("results/traces").join(format!(
+            "{}_seed{}.ospt",
+            cfg.benchmark.name(),
+            cfg.seed
+        )),
+    };
+    let (bytes, _live) = osprey_trace::record_bytes(&cfg, snapshot_every);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ArgError::Trace(osprey_trace::codes::io(parent, &e)))?;
+        }
+    }
+    std::fs::write(&path, &bytes)
+        .map_err(|e| ArgError::Trace(osprey_trace::codes::io(&path, &e)))?;
+    let trace = TraceReader::from_bytes(&bytes)?;
+    let mut out = format!(
+        "recorded {} -> {} ({} events, {} bytes)\n",
+        cfg.benchmark.name(),
+        path.display(),
+        trace.events.len(),
+        bytes.len()
+    );
+    // The printed evaluation goes through the replay engine, so
+    // `osprey replay --trace <file>` with the same strategy reproduces
+    // this section byte-identically.
+    let strategy_name = parsed
+        .options
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("statistical");
+    let outcome = ReplaySim::new(&trace, AccelConfig::with_strategy(parsed.strategy()?))?.run();
+    out.push_str(&render_replay(strategy_name, &outcome));
+    Ok(out)
+}
+
+fn cmd_replay(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let path = parsed.trace_path()?;
+    let trace = Arc::new(TraceReader::open(&path)?);
+    // Surface trace-shape problems (no summary, not detailed) before
+    // fanning out worker jobs.
+    ReplaySim::new(&trace, AccelConfig::default())?;
+    let strategies = parsed.strategies()?;
+    let workers = parsed.jobs()?.unwrap_or_else(default_workers);
+    let jobs: Vec<Job<(String, ReplayOutcome)>> = strategies
+        .into_iter()
+        .map(|(name, strategy)| {
+            let trace = Arc::clone(&trace);
+            let label = name.clone();
+            Job::new(name, move || {
+                let outcome = ReplaySim::new(&trace, AccelConfig::with_strategy(strategy))
+                    .expect("trace validated before dispatch")
+                    .run();
+                (label, outcome)
+            })
+        })
+        .collect();
+    let run = run_jobs(jobs, workers);
+    let summary = run.summary("replay");
+    // Stdout carries only deterministic replayed quantities; the
+    // wall-clock story goes to stderr (cf. sweep).
+    eprintln!(
+        "[osprey-exec] replayed {} configuration(s) on {} workers, wall {:.0} ms",
+        summary.jobs.len(),
+        run.workers,
+        summary.parallel_wall.as_secs_f64() * 1e3,
+    );
+    let mut out = String::new();
+    for (name, outcome) in run.into_values() {
+        out.push_str(&render_replay(&name, &outcome));
+    }
+    Ok(out)
+}
+
+fn cmd_trace_info(parsed: &ParsedArgs) -> Result<String, ArgError> {
+    let path = parsed.trace_path()?;
+    let bytes =
+        std::fs::read(&path).map_err(|e| ArgError::Trace(osprey_trace::codes::io(&path, &e)))?;
+    let trace = TraceReader::from_bytes(&bytes)?;
+    let (mut invocations, mut simulated, mut predicted, mut decisions, mut snapshots) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for event in &trace.events {
+        match event {
+            TraceEvent::Invocation { .. } => invocations += 1,
+            TraceEvent::Simulated(_) => simulated += 1,
+            TraceEvent::Predicted(_) => predicted += 1,
+            TraceEvent::Decision { .. } => decisions += 1,
+            TraceEvent::Snapshot(_) => snapshots += 1,
+        }
+    }
+    let m = &trace.meta;
+    let mut t = Table::new(["field", "value"]);
+    t.row(["file", &path.display().to_string()]);
+    t.row(["format", &format!("OSPT v{}", osprey_trace::wire::VERSION)]);
+    t.row(["size", &format!("{} bytes", bytes.len())]);
+    t.row(["benchmark", m.benchmark.name()]);
+    t.row(["seed", &m.seed.to_string()]);
+    t.row(["scale", &m.scale.to_string()]);
+    t.row(["L2 bytes", &m.l2_bytes.to_string()]);
+    t.row(["core model", m.core.name()]);
+    t.row([
+        "OS mode",
+        match m.os_mode {
+            OsMode::Full => "full-system",
+            OsMode::AppOnly => "app-only",
+        },
+    ]);
+    t.row(["snapshot every", &m.snapshot_every.to_string()]);
+    t.row(["events", &trace.events.len().to_string()]);
+    t.row(["  invocations", &invocations.to_string()]);
+    t.row(["  simulated intervals", &simulated.to_string()]);
+    t.row(["  predicted intervals", &predicted.to_string()]);
+    t.row(["  decisions", &decisions.to_string()]);
+    t.row(["  snapshots", &snapshots.to_string()]);
+    t.row([
+        "summary",
+        if trace.summary.is_some() { "yes" } else { "no" },
+    ]);
+    t.row(["detailed", if trace.is_detailed() { "yes" } else { "no" }]);
+    let mut out = t.render();
+    let diags = verify_trace(&trace);
+    if let Some(first_error) = diags.iter().find(|d| d.is_error()).cloned() {
+        eprint!("{}", osprey_report::diagnostics_table(&diags).render());
+        return Err(ArgError::Trace(first_error));
+    }
+    if diags.is_empty() {
+        out.push_str("structure: ok\n");
+    } else {
+        out.push_str(&osprey_report::diagnostics_table(&diags).render());
+    }
+    Ok(out)
+}
+
 fn cmd_services(parsed: &ParsedArgs) -> Result<String, ArgError> {
     let cfg = sim_config(parsed)?;
     let report = FullSystemSim::new(cfg).run();
@@ -381,6 +576,22 @@ fn cmd_verify(parsed: &ParsedArgs) -> Result<String, ArgError> {
             key: "format".into(),
             value: format.to_string(),
             expected: "table or csv",
+        });
+    }
+
+    if parsed.options.contains_key("trace") {
+        let path = parsed.trace_path()?;
+        let trace = TraceReader::open(&path)?;
+        let diags = verify_trace(&trace);
+        return Ok(if diags.is_empty() {
+            format!("{}: ok (structural trace checks passed)\n", path.display())
+        } else {
+            format!(
+                "{}: {} diagnostic(s)\n{}",
+                path.display(),
+                diags.len(),
+                render_diagnostics(&diags, format)
+            )
         });
     }
 
@@ -467,6 +678,9 @@ pub fn dispatch(parsed: &ParsedArgs) -> Result<String, ArgError> {
         "run" => cmd_run(parsed),
         "compare" => cmd_compare(parsed),
         "sweep" => cmd_sweep(parsed),
+        "record" => cmd_record(parsed),
+        "replay" => cmd_replay(parsed),
+        "trace-info" => cmd_trace_info(parsed),
         "services" => cmd_services(parsed),
         "window" => cmd_window(parsed),
         "verify" => cmd_verify(parsed),
@@ -615,6 +829,125 @@ mod tests {
     #[test]
     fn verify_rejects_unknown_fixture() {
         let err = run(&["verify", "--fixture", "nope"]).unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
+    }
+
+    fn temp_trace(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir()
+            .join(format!("osprey-cli-trace-{}", std::process::id()))
+            .join(name)
+    }
+
+    #[test]
+    fn record_then_replay_is_byte_identical_at_any_job_count() {
+        let path = temp_trace("du_roundtrip.ospt");
+        let path_str = path.display().to_string();
+        let recorded = run(&[
+            "record",
+            "--benchmark",
+            "du",
+            "--scale",
+            "0.02",
+            "--seed",
+            "3",
+            "--out",
+            &path_str,
+        ])
+        .unwrap();
+        assert!(recorded.contains("recorded du"), "{recorded}");
+        let serial = run(&["replay", "--trace", &path_str, "--jobs", "1"]).unwrap();
+        let parallel = run(&["replay", "--trace", &path_str, "--jobs", "4"]).unwrap();
+        assert_eq!(serial, parallel, "replay must not depend on --jobs");
+        // The evaluation section record printed IS the replay output.
+        assert!(
+            recorded.ends_with(&serial),
+            "record evaluation must match replay output:\n{recorded}\nvs\n{serial}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_fans_out_over_strategies() {
+        let path = temp_trace("du_strategies.ospt");
+        let path_str = path.display().to_string();
+        run(&[
+            "record",
+            "--benchmark",
+            "du",
+            "--scale",
+            "0.02",
+            "--out",
+            &path_str,
+        ])
+        .unwrap();
+        let out = run(&[
+            "replay",
+            "--trace",
+            &path_str,
+            "--strategies",
+            "best-match,eager",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("best-match"), "{out}");
+        assert!(out.contains("eager"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_info_describes_and_verifies_a_recording() {
+        let path = temp_trace("du_info.ospt");
+        let path_str = path.display().to_string();
+        run(&[
+            "record",
+            "--benchmark",
+            "du",
+            "--scale",
+            "0.02",
+            "--out",
+            &path_str,
+        ])
+        .unwrap();
+        let out = run(&["trace-info", "--trace", &path_str]).unwrap();
+        assert!(out.contains("OSPT v1"), "{out}");
+        assert!(out.contains("du"), "{out}");
+        assert!(out.contains("simulated intervals"), "{out}");
+        assert!(out.contains("structure: ok"), "{out}");
+
+        let verified = run(&["verify", "--trace", &path_str]).unwrap();
+        assert!(verified.contains("ok"), "{verified}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_traces_fail_with_typed_diagnostics() {
+        let path = temp_trace("du_corrupt.ospt");
+        let path_str = path.display().to_string();
+        run(&[
+            "record",
+            "--benchmark",
+            "du",
+            "--scale",
+            "0.02",
+            "--out",
+            &path_str,
+        ])
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        match run(&["trace-info", "--trace", &path_str]) {
+            Err(ArgError::Trace(d)) => assert_eq!(d.code, "OSPT003"),
+            other => panic!("expected OSPT003, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_requires_a_trace_option() {
+        let err = run(&["replay"]).unwrap_err();
         assert!(matches!(err, ArgError::Invalid { .. }));
     }
 

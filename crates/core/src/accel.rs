@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use osprey_isa::ServiceId;
-use osprey_sim::{FullSystemSim, RunReport, SimConfig};
+use osprey_sim::{FullSystemSim, RunReport, SimConfig, TraceSink};
 
 use crate::learning::{Decision, ServiceLearner};
 use crate::metrics::AccelStats;
@@ -154,6 +154,9 @@ impl AcceleratedSim {
         match learner.decide() {
             Decision::Simulate => {
                 let relearns_before = learner.relearn_count();
+                if let Some(sink) = self.sim.trace_sink_mut() {
+                    sink.on_decision(inv.service, false, None, 0.0);
+                }
                 let record = self.sim.execute_service(&inv);
                 learner.observe_simulated(&record);
                 debug_assert_eq!(learner.relearn_count(), relearns_before);
@@ -162,6 +165,15 @@ impl AcceleratedSim {
             Decision::Predict => {
                 let relearns_before = learner.relearn_count();
                 let signature = self.sim.emulate_service(&inv);
+                // Resolve the source cluster before predict() mutates
+                // outlier state: lookup and prediction_source see the
+                // same PLT the prediction will draw from.
+                let source = learner.plt().prediction_source(signature);
+                if let Some(sink) = self.sim.trace_sink_mut() {
+                    let (cluster, confidence) =
+                        source.map_or((None, 0.0), |(i, c)| (Some(i as u32), c));
+                    sink.on_decision(inv.service, true, cluster, confidence);
+                }
                 let perf = learner.predict(signature);
                 if learner.relearn_count() > relearns_before {
                     self.stats.count_relearn();
@@ -205,6 +217,18 @@ impl AcceleratedSim {
     /// Coverage so far.
     pub fn coverage(&self) -> f64 {
         self.stats.coverage()
+    }
+
+    /// Installs a trace sink on the underlying machine. The sink then
+    /// observes every invocation, interval, and snapshot the machine
+    /// emits, plus this accelerator's learn/predict decisions.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sim.set_trace_sink(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sim.take_trace_sink()
     }
 }
 
@@ -278,6 +302,57 @@ mod tests {
             read_clusters >= 2,
             "sys_read must show multiple behavior points, got {read_clusters}"
         );
+    }
+
+    #[test]
+    fn trace_sink_observes_every_decision() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct State {
+            simulate: u64,
+            predict: u64,
+            sourced: u64,
+        }
+        #[derive(Clone, Default)]
+        struct Capture(Rc<RefCell<State>>);
+        impl TraceSink for Capture {
+            fn on_decision(
+                &mut self,
+                _service: ServiceId,
+                predicted: bool,
+                cluster: Option<u32>,
+                confidence: f64,
+            ) {
+                let mut s = self.0.borrow_mut();
+                if predicted {
+                    s.predict += 1;
+                    if cluster.is_some() {
+                        assert!(
+                            confidence > 0.0 && confidence <= 1.0,
+                            "confidence {confidence} out of range"
+                        );
+                        s.sourced += 1;
+                    }
+                } else {
+                    s.simulate += 1;
+                }
+            }
+        }
+
+        let capture = Capture::default();
+        let mut accel = AcceleratedSim::new(quick(Benchmark::Du, 0.3), AccelConfig::default());
+        accel.set_trace_sink(Box::new(capture.clone()));
+        while accel.step() {}
+        drop(accel.take_trace_sink());
+        let outcome = accel.into_outcome();
+        let s = capture.0.borrow();
+        let simulated = outcome.stats.total_invocations() - outcome.stats.predicted_invocations();
+        assert_eq!(s.simulate, simulated);
+        assert_eq!(s.predict, outcome.stats.predicted_invocations());
+        assert!(s.predict > 0);
+        assert_eq!(s.sourced, s.predict, "every prediction names its cluster");
     }
 
     #[test]

@@ -181,6 +181,36 @@ impl Plt {
             .map(|c| c.predict())
     }
 
+    /// Identifies which cluster a prediction for `signature` would draw
+    /// from: the best *matching* cluster when the signature is in range,
+    /// otherwise the closest cluster (the outlier fallback, §4.4).
+    ///
+    /// Returns the cluster index together with a confidence score — the
+    /// chosen cluster's share of all learned instances, so a prediction
+    /// from a dominant behavior point scores near 1.0 while one from a
+    /// rarely seen cluster scores near 0. `None` only when the PLT is
+    /// empty.
+    pub fn prediction_source(&self, signature: u64) -> Option<(usize, f64)> {
+        let idx = self.best_matching(signature).or_else(|| {
+            self.clusters
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.distance(signature)
+                        .partial_cmp(&b.distance(signature))
+                        .expect("distances are finite")
+                })
+                .map(|(i, _)| i)
+        })?;
+        let total: u64 = self.clusters.iter().map(|c| c.members()).sum();
+        let confidence = if total == 0 {
+            0.0
+        } else {
+            self.clusters[idx].members() as f64 / total as f64
+        };
+        Some((idx, confidence))
+    }
+
     /// Records an outlier occurrence at per-service invocation index
     /// `invocation`, with EPOs computed over `window` trailing
     /// invocations. Returns the index of the outlier entry it joined.
@@ -309,6 +339,24 @@ mod tests {
         plt.record_outlier(30_000, 1, 100);
         plt.clear_outliers();
         assert!(plt.outliers().is_empty());
+    }
+
+    #[test]
+    fn prediction_source_reports_cluster_and_confidence() {
+        let mut plt = Plt::new(0.05);
+        assert_eq!(plt.prediction_source(10_000), None);
+        for _ in 0..3 {
+            plt.learn(10_000, 100, &snap());
+        }
+        plt.learn(50_000, 500, &snap());
+        // In-range signature: the matching cluster, 3 of 4 instances.
+        let (idx, conf) = plt.prediction_source(10_100).unwrap();
+        assert_eq!(plt.clusters()[idx].predict().cycles, 100);
+        assert!((conf - 0.75).abs() < 1e-12);
+        // Outlier: falls back to the closest cluster, 1 of 4 instances.
+        let (idx, conf) = plt.prediction_source(45_000).unwrap();
+        assert_eq!(plt.clusters()[idx].predict().cycles, 500);
+        assert!((conf - 0.25).abs() < 1e-12);
     }
 
     #[test]

@@ -38,7 +38,7 @@ use osprey_sim::{FullSystemSim, RunReport, SimConfig};
 
 pub mod sweep;
 
-pub use sweep::SweepSummary;
+pub use sweep::{ReplaySummary, SweepSummary};
 
 /// A named unit of work for the pool: a closure producing a result of
 /// type `T`.

@@ -133,6 +133,99 @@ impl SweepSummary {
     }
 }
 
+/// Wall-clock record of a record-once/replay-many experiment: how long
+/// the detailed recording runs took versus re-evaluating predictor
+/// configurations from the traces.
+///
+/// Serialized to `results/<bench>_replay.json`:
+///
+/// ```json
+/// {
+///   "bench": "fig11_strategies",
+///   "jobs": [ { "name": "du/best-match", "wall_ms": 12.1 }, ... ],
+///   "record_wall_ms": 4100.0,
+///   "replay_wall_ms": 85.2,
+///   "speedup": 48.122
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplaySummary {
+    /// Experiment name (figure identifier).
+    pub bench: String,
+    /// `(job name, wall time)` per replay job, in submission order.
+    pub jobs: Vec<(String, Duration)>,
+    /// Total wall time spent recording (detailed simulation).
+    pub record_wall: Duration,
+    /// Total wall time spent replaying from the traces.
+    pub replay_wall: Duration,
+}
+
+impl ReplaySummary {
+    /// How many times faster replaying was than re-simulating.
+    pub fn speedup(&self) -> f64 {
+        let replay = self.replay_wall.as_secs_f64();
+        if replay > 0.0 {
+            self.record_wall.as_secs_f64() / replay
+        } else {
+            1.0
+        }
+    }
+
+    /// Renders the summary as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", escape(&self.bench)));
+        out.push_str("  \"jobs\": [\n");
+        for (i, (name, wall)) in self.jobs.iter().enumerate() {
+            let sep = if i + 1 == self.jobs.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"wall_ms\": {} }}{sep}\n",
+                escape(name),
+                ms(*wall)
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"record_wall_ms\": {},\n",
+            ms(self.record_wall)
+        ));
+        out.push_str(&format!(
+            "  \"replay_wall_ms\": {},\n",
+            ms(self.replay_wall)
+        ));
+        out.push_str(&format!("  \"speedup\": {:.3}\n", self.speedup()));
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the summary to `<dir>/<bench>_replay.json`, creating the
+    /// directory if needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating the directory or writing
+    /// the file.
+    pub fn write_to_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}_replay.json", self.bench));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Writes the summary to the conventional `results/` directory and
+    /// returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from [`ReplaySummary::write_to_dir`].
+    pub fn write_to_results(&self) -> std::io::Result<PathBuf> {
+        self.write_to_dir("results")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +279,44 @@ mod tests {
         s.jobs[0].0 = "we\"ird\\name".into();
         let json = s.to_json();
         assert!(json.contains("we\\\"ird\\\\name"));
+    }
+
+    fn replay_sample() -> ReplaySummary {
+        ReplaySummary {
+            bench: "fig11_strategies".into(),
+            jobs: vec![
+                ("du/best-match".into(), Duration::from_millis(12)),
+                ("du/eager".into(), Duration::from_millis(9)),
+            ],
+            record_wall: Duration::from_millis(4100),
+            replay_wall: Duration::from_millis(85),
+        }
+    }
+
+    #[test]
+    fn replay_json_contains_every_schema_field_and_speedup() {
+        let s = replay_sample();
+        let json = s.to_json();
+        for key in [
+            "\"bench\"",
+            "\"jobs\"",
+            "\"record_wall_ms\"",
+            "\"replay_wall_ms\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert!((s.speedup() - 4100.0 / 85.0).abs() < 1e-9);
+        let braces = json.matches('{').count() as i64 - json.matches('}').count() as i64;
+        assert_eq!(braces, 0);
+    }
+
+    #[test]
+    fn replay_write_to_dir_creates_the_file() {
+        let dir = std::env::temp_dir().join(format!("osprey_replay_{}", std::process::id()));
+        let path = replay_sample().write_to_dir(&dir).expect("write");
+        assert_eq!(path.file_name().unwrap(), "fig11_strategies_replay.json");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -38,8 +38,10 @@ pub mod config;
 pub mod interval;
 pub mod machine;
 pub mod report;
+pub mod trace;
 
 pub use config::{CoreModel, OsMode, SimConfig};
 pub use interval::IntervalRecord;
-pub use machine::FullSystemSim;
+pub use machine::{FullSystemSim, MachineProbe, DEFAULT_SNAPSHOT_EVERY};
 pub use report::RunReport;
+pub use trace::{CounterSnapshot, TraceSink};

@@ -12,6 +12,39 @@ use osprey_workloads::{WorkItem, Workload};
 use crate::config::{OsMode, SimConfig};
 use crate::interval::{IntervalRecord, IntervalSource};
 use crate::report::RunReport;
+use crate::trace::{CounterSnapshot, TraceSink};
+
+/// Default interval period between [`TraceSink::on_snapshot`] callbacks.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 64;
+
+/// A point-in-time copy of the machine's externally observable counters,
+/// taken at an interval boundary.
+///
+/// This is what interval checkpointing serializes (alongside the
+/// [`SimConfig`] recipe) and what a restore verifies against: if a
+/// rebuilt machine reaches the same boundary with a different probe,
+/// the checkpoint does not describe this program.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProbe {
+    /// OS service intervals executed since cold boot (warm-up included).
+    pub seq: u64,
+    /// Workload items consumed since cold boot.
+    pub items_consumed: u64,
+    /// Total retired instructions.
+    pub instret: u64,
+    /// User-mode instructions.
+    pub user_instructions: u64,
+    /// Kernel-mode instructions.
+    pub os_instructions: u64,
+    /// Total cycles (detailed plus predicted).
+    pub total_cycles: u64,
+    /// User-mode blocks executed.
+    pub user_blocks: u64,
+    /// Cache counters.
+    pub caches: HierarchySnapshot,
+    /// Pollution RNG stream position.
+    pub pollution_rng: u64,
+}
 
 /// The bound machine: core + caches + kernel + workload.
 ///
@@ -51,6 +84,10 @@ pub struct FullSystemSim {
     base_os: u64,
     base_caches: HierarchySnapshot,
     pollution_enabled: bool,
+    /// Optional trace-capture observer (measurement region only).
+    sink: Option<Box<dyn TraceSink>>,
+    /// Intervals between periodic snapshot events.
+    snapshot_every: u64,
 }
 
 impl FullSystemSim {
@@ -130,6 +167,54 @@ impl FullSystemSim {
             base_os: 0,
             base_caches: HierarchySnapshot::default(),
             pollution_enabled: true,
+            sink: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+
+    /// Installs a trace sink that observes every measurement-region
+    /// event (invocations, simulated/predicted intervals, periodic
+    /// snapshots). Replaces any previously installed sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Removes and returns the installed trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Mutable access to the installed trace sink, letting external
+    /// drivers (e.g. the accelerated simulator) append their own events
+    /// — decision records — into the same stream.
+    pub fn trace_sink_mut(&mut self) -> Option<&mut (dyn TraceSink + 'static)> {
+        self.sink.as_deref_mut()
+    }
+
+    /// Sets the interval period between snapshot events (default
+    /// [`DEFAULT_SNAPSHOT_EVERY`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn set_snapshot_every(&mut self, every: u64) {
+        assert!(every > 0, "snapshot period must be positive");
+        self.snapshot_every = every;
+    }
+
+    /// Captures the machine's externally observable counters — the
+    /// state summary interval checkpointing stores and verifies.
+    pub fn probe(&self) -> MachineProbe {
+        MachineProbe {
+            seq: self.seq,
+            items_consumed: self.items_consumed as u64,
+            instret: self.instret,
+            user_instructions: self.user_instructions,
+            os_instructions: self.os_instructions,
+            total_cycles: self.total_cycles(),
+            user_blocks: self.user_blocks,
+            caches: self.mem.snapshot(),
+            pollution_rng: self.pollution_rng.state(),
         }
     }
 
@@ -198,7 +283,9 @@ impl FullSystemSim {
             self.maybe_begin_measurement();
             if full {
                 if let Some(id) = self.kernel.due_interrupt(self.instret) {
-                    return Some(self.kernel.raise(id, self.instret));
+                    let inv = self.kernel.raise(id, self.instret);
+                    self.emit_invocation(&inv);
+                    return Some(inv);
                 }
             }
             match self.workload.next_item() {
@@ -212,13 +299,50 @@ impl FullSystemSim {
                         WorkItem::Compute(spec) => self.run_user_block(&spec),
                         WorkItem::Call(req) => {
                             if full {
-                                return Some(self.kernel.handle(&req, self.instret));
+                                let inv = self.kernel.handle(&req, self.instret);
+                                self.emit_invocation(&inv);
+                                return Some(inv);
                             }
                             // Application-only simulation skips the OS
                             // entirely.
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// Emits an invocation event for `inv` (measurement region only).
+    fn emit_invocation(&mut self, inv: &ServiceInvocation) {
+        if !self.measuring {
+            return;
+        }
+        let (service, instructions) = (inv.service, inv.instr_count());
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.on_invocation(service, instructions);
+        }
+    }
+
+    /// Emits the interval event for `record`, plus the periodic counter
+    /// snapshot when the interval lands on the snapshot cadence
+    /// (measurement region only).
+    fn emit_interval(&mut self, record: &IntervalRecord) {
+        if !self.measuring {
+            return;
+        }
+        let snapshot = (self.seq.is_multiple_of(self.snapshot_every)).then(|| CounterSnapshot {
+            seq: self.seq,
+            instret: self.instret,
+            cycles: self.total_cycles(),
+            caches: self.mem.snapshot(),
+        });
+        if let Some(sink) = self.sink.as_deref_mut() {
+            match record.source {
+                IntervalSource::Simulated => sink.on_simulated(record),
+                IntervalSource::Predicted => sink.on_predicted(record),
+            }
+            if let Some(snapshot) = snapshot {
+                sink.on_snapshot(&snapshot);
             }
         }
     }
@@ -264,6 +388,7 @@ impl FullSystemSim {
         self.seq += 1;
         self.per_service[inv.service.index()] += 1;
         self.records.push(record);
+        self.emit_interval(&record);
         record
     }
 
@@ -318,6 +443,7 @@ impl FullSystemSim {
         self.seq += 1;
         self.per_service[service.index()] += 1;
         self.records.push(record);
+        self.emit_interval(&record);
         record
     }
 
@@ -510,6 +636,81 @@ mod tests {
                 "{b} must pass load-time verification"
             );
         }
+    }
+
+    #[derive(Default)]
+    struct CaptureState {
+        invocations: u64,
+        simulated: u64,
+        predicted: u64,
+        snapshots: u64,
+    }
+
+    struct Capture(std::rc::Rc<std::cell::RefCell<CaptureState>>);
+
+    impl TraceSink for Capture {
+        fn on_invocation(&mut self, _service: ServiceId, _instructions: u64) {
+            self.0.borrow_mut().invocations += 1;
+        }
+        fn on_simulated(&mut self, _record: &IntervalRecord) {
+            self.0.borrow_mut().simulated += 1;
+        }
+        fn on_predicted(&mut self, _record: &IntervalRecord) {
+            self.0.borrow_mut().predicted += 1;
+        }
+        fn on_snapshot(&mut self, _snapshot: &CounterSnapshot) {
+            self.0.borrow_mut().snapshots += 1;
+        }
+    }
+
+    #[test]
+    fn sink_observes_exactly_the_measurement_region() {
+        let state = std::rc::Rc::new(std::cell::RefCell::new(CaptureState::default()));
+        let mut sim = FullSystemSim::new(quick(Benchmark::AbRand));
+        sim.set_snapshot_every(16);
+        sim.set_trace_sink(Box::new(Capture(std::rc::Rc::clone(&state))));
+        let report = sim.run_to_completion();
+        let captured = state.borrow();
+        assert!(!report.intervals.is_empty());
+        assert_eq!(captured.invocations, report.intervals.len() as u64);
+        assert_eq!(captured.simulated, report.intervals.len() as u64);
+        assert_eq!(captured.predicted, 0);
+        assert!(captured.snapshots > 0);
+        assert!(captured.snapshots <= captured.simulated / 16 + 1);
+    }
+
+    #[test]
+    fn sink_observes_predicted_intervals_as_predictions() {
+        let state = std::rc::Rc::new(std::cell::RefCell::new(CaptureState::default()));
+        let mut sim = FullSystemSim::new(quick(Benchmark::Du));
+        sim.set_trace_sink(Box::new(Capture(std::rc::Rc::clone(&state))));
+        while let Some(inv) = sim.advance_to_service() {
+            let n = sim.emulate_service(&inv);
+            sim.apply_prediction(inv.service, n, 500, HierarchySnapshot::default());
+        }
+        let report = sim.report();
+        let captured = state.borrow();
+        assert_eq!(captured.predicted, report.intervals.len() as u64);
+        assert_eq!(captured.simulated, 0);
+    }
+
+    #[test]
+    fn probe_is_deterministic_and_advances() {
+        let mut a = FullSystemSim::new(quick(Benchmark::FindOd));
+        let mut b = FullSystemSim::new(quick(Benchmark::FindOd));
+        for _ in 0..5 {
+            let ia = a.advance_to_service().expect("service");
+            let ib = b.advance_to_service().expect("service");
+            a.execute_service(&ia);
+            b.execute_service(&ib);
+        }
+        assert_eq!(a.probe(), b.probe());
+        let before = a.probe();
+        let inv = a.advance_to_service().expect("service");
+        a.execute_service(&inv);
+        let after = a.probe();
+        assert_eq!(after.seq, before.seq + 1);
+        assert!(after.instret > before.instret);
     }
 
     #[test]

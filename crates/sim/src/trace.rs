@@ -1,0 +1,102 @@
+//! Trace capture hooks.
+//!
+//! The simulator itself knows nothing about on-disk trace formats; it
+//! only exposes a [`TraceSink`] that observers can install with
+//! [`crate::FullSystemSim::set_trace_sink`]. The `osprey-trace` crate
+//! implements the sink on top of its binary trace writer; tests can
+//! install in-memory sinks to observe the event stream directly.
+//!
+//! Events fire only inside the measurement region (after the workload's
+//! warm-up items), mirroring exactly what the final [`crate::RunReport`]
+//! covers — a recorded trace replays the report, not the warm-up.
+
+use osprey_isa::ServiceId;
+use osprey_mem::HierarchySnapshot;
+
+use crate::interval::IntervalRecord;
+
+/// A periodic machine-counter snapshot emitted between intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Interval sequence number the snapshot was taken at.
+    pub seq: u64,
+    /// Total retired instructions so far.
+    pub instret: u64,
+    /// Total cycles so far (detailed plus predicted).
+    pub cycles: u64,
+    /// Cache counters at the snapshot point.
+    pub caches: HierarchySnapshot,
+}
+
+/// Observer of a running [`crate::FullSystemSim`].
+///
+/// All methods default to no-ops so sinks implement only what they
+/// record. Callbacks arrive in stream order: an
+/// [`TraceSink::on_invocation`] for every OS service invocation, then
+/// either [`TraceSink::on_simulated`] (detailed execution) or a
+/// [`TraceSink::on_decision`] / [`TraceSink::on_predicted`] pair
+/// (accelerated prediction), with [`TraceSink::on_snapshot`]
+/// interleaved every `snapshot_every` intervals.
+pub trait TraceSink {
+    /// An OS service invocation is about to execute; `instructions` is
+    /// its dynamic instruction count — the behavior signature.
+    fn on_invocation(&mut self, service: ServiceId, instructions: u64) {
+        let _ = (service, instructions);
+    }
+
+    /// An interval was fully simulated on the detailed core.
+    fn on_simulated(&mut self, record: &IntervalRecord) {
+        let _ = record;
+    }
+
+    /// An interval was fast-forwarded and its performance predicted.
+    fn on_predicted(&mut self, record: &IntervalRecord) {
+        let _ = record;
+    }
+
+    /// The accelerator decided what to do with an invocation
+    /// (`predicted` false = learn/simulate). `cluster` and `confidence`
+    /// identify the PLT cluster a prediction would come from, when one
+    /// exists.
+    fn on_decision(
+        &mut self,
+        service: ServiceId,
+        predicted: bool,
+        cluster: Option<u32>,
+        confidence: f64,
+    ) {
+        let _ = (service, predicted, cluster, confidence);
+    }
+
+    /// A periodic counter snapshot at an interval boundary.
+    fn on_snapshot(&mut self, snapshot: &CounterSnapshot) {
+        let _ = snapshot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counting(u64);
+
+    impl TraceSink for Counting {
+        fn on_simulated(&mut self, _record: &IntervalRecord) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        let mut sink = Counting(0);
+        sink.on_invocation(ServiceId::SysRead, 10);
+        sink.on_decision(ServiceId::SysRead, true, Some(1), 0.5);
+        sink.on_snapshot(&CounterSnapshot {
+            seq: 0,
+            instret: 0,
+            cycles: 0,
+            caches: HierarchySnapshot::default(),
+        });
+        assert_eq!(sink.0, 0);
+    }
+}

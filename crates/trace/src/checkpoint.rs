@@ -1,0 +1,286 @@
+//! Interval-boundary checkpointing.
+//!
+//! A [`Checkpoint`] captures, at an OS-service interval boundary, the
+//! run's *recipe* (the [`TraceMeta`] configuration), its *position* (how
+//! many intervals have executed since cold boot, warm-up included), and a
+//! *probe* of every externally observable counter — core counters, the
+//! cache-hierarchy counter summary, the kernel-driven instruction stream
+//! position, and the pollution RNG stream position
+//! ([`osprey_sim::MachineProbe`]).
+//!
+//! Osprey's machine state is fully determined by `(recipe, position)`
+//! because every source of randomness is explicitly seeded, so restore
+//! rebuilds the cold machine and re-executes deterministically to the
+//! boundary — the checkpoint-via-deterministic-replay design gem5-style
+//! simulators use for portable checkpoints. The probe then *verifies*
+//! the reconstruction: if any counter disagrees, the checkpoint was
+//! taken from a different build or configuration and restore fails with
+//! a typed `OSPT020` diagnostic instead of silently resuming a different
+//! run.
+
+use std::path::Path;
+
+use osprey_mem::{CacheStats, HierarchySnapshot};
+use osprey_report::Diagnostic;
+use osprey_sim::{FullSystemSim, MachineProbe, SimConfig};
+
+use crate::codes;
+use crate::event::TraceMeta;
+use crate::reader::validate_envelope;
+use crate::wire::{self, Cursor};
+
+/// A serializable interval-boundary checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The run's configuration recipe.
+    pub meta: TraceMeta,
+    /// The machine's counters at the boundary (includes the interval
+    /// position `probe.seq`).
+    pub probe: MachineProbe,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint of `sim` at its current interval boundary.
+    ///
+    /// Call between [`FullSystemSim::execute_service`] invocations (or
+    /// before/after a run); capturing mid-interval is impossible by
+    /// construction since the driver API only yields at boundaries.
+    pub fn capture(sim: &FullSystemSim) -> Self {
+        Self {
+            meta: TraceMeta::from_config(sim.config(), osprey_sim::DEFAULT_SNAPSHOT_EVERY),
+            probe: sim.probe(),
+        }
+    }
+
+    /// The interval position (intervals executed since cold boot).
+    pub fn seq(&self) -> u64 {
+        self.probe.seq
+    }
+
+    /// Encodes the checkpoint (magic `OSPC`, version, meta, probe,
+    /// checksum).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(256);
+        buf.extend_from_slice(&wire::CHECKPOINT_MAGIC);
+        wire::put_u16(&mut buf, wire::VERSION);
+        self.meta.encode(&mut buf);
+        let p = &self.probe;
+        wire::put_u64(&mut buf, p.seq);
+        wire::put_u64(&mut buf, p.items_consumed);
+        wire::put_u64(&mut buf, p.instret);
+        wire::put_u64(&mut buf, p.user_instructions);
+        wire::put_u64(&mut buf, p.os_instructions);
+        wire::put_u64(&mut buf, p.total_cycles);
+        wire::put_u64(&mut buf, p.user_blocks);
+        put_hierarchy(&mut buf, &p.caches);
+        wire::put_u64(&mut buf, p.pollution_rng);
+        let sum = wire::checksum(&buf);
+        wire::put_u64(&mut buf, sum);
+        buf
+    }
+
+    /// Decodes and validates a checkpoint stream.
+    pub fn decode(bytes: &[u8]) -> Result<Self, Diagnostic> {
+        let payload = validate_envelope(bytes, &wire::CHECKPOINT_MAGIC)?;
+        let mut c = Cursor::new(payload);
+        c.u32()?; // magic
+        c.u16()?; // version
+        let meta = TraceMeta::decode(&mut c)?;
+        let probe = MachineProbe {
+            seq: c.u64()?,
+            items_consumed: c.u64()?,
+            instret: c.u64()?,
+            user_instructions: c.u64()?,
+            os_instructions: c.u64()?,
+            total_cycles: c.u64()?,
+            user_blocks: c.u64()?,
+            caches: get_hierarchy(&mut c)?,
+            pollution_rng: c.u64()?,
+        };
+        if c.remaining() != 0 {
+            return Err(codes::malformed(
+                c.pos(),
+                &format!("{} trailing bytes after probe", c.remaining()),
+            ));
+        }
+        Ok(Self { meta, probe })
+    }
+
+    /// Writes the encoded checkpoint to `path`.
+    pub fn write_to(&self, path: &Path) -> Result<(), Diagnostic> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| codes::io(parent, &e))?;
+            }
+        }
+        std::fs::write(path, self.encode()).map_err(|e| codes::io(path, &e))
+    }
+
+    /// Reads and decodes a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, Diagnostic> {
+        let bytes = std::fs::read(path).map_err(|e| codes::io(path, &e))?;
+        Self::decode(&bytes)
+    }
+
+    /// Restores a machine at this checkpoint's boundary.
+    ///
+    /// Rebuilds the cold machine from the recipe, re-executes
+    /// `probe.seq` intervals deterministically, and verifies every
+    /// counter against the stored probe. Continuing the returned machine
+    /// produces a run indistinguishable from one that was never
+    /// checkpointed.
+    pub fn restore(&self) -> Result<FullSystemSim, Diagnostic> {
+        let cfg: SimConfig = self.meta.sim_config();
+        let mut sim = FullSystemSim::try_new(cfg).map_err(|diags| {
+            diags.into_iter().next().unwrap_or_else(|| {
+                Diagnostic::error("OSPT020", "checkpoint", "program failed verification")
+            })
+        })?;
+        while sim.probe().seq < self.probe.seq {
+            let Some(inv) = sim.advance_to_service() else {
+                return Err(Diagnostic::error(
+                    "OSPT021",
+                    "checkpoint",
+                    format!(
+                        "boundary seq {} lies beyond the end of the run (reached {})",
+                        self.probe.seq,
+                        sim.probe().seq
+                    ),
+                ));
+            };
+            sim.execute_service(&inv);
+        }
+        let reached = sim.probe();
+        if reached != self.probe {
+            return Err(Diagnostic::error(
+                "OSPT020",
+                "checkpoint",
+                format!(
+                    "probe mismatch at seq {}: stored {:?}, reconstructed {:?}",
+                    self.probe.seq, self.probe, reached
+                ),
+            ));
+        }
+        Ok(sim)
+    }
+}
+
+fn put_hierarchy(buf: &mut Vec<u8>, h: &HierarchySnapshot) {
+    for s in [&h.l1i, &h.l1d, &h.l2] {
+        wire::put_u64(buf, s.app_accesses);
+        wire::put_u64(buf, s.app_misses);
+        wire::put_u64(buf, s.os_accesses);
+        wire::put_u64(buf, s.os_misses);
+        wire::put_u64(buf, s.writebacks);
+    }
+}
+
+fn get_hierarchy(c: &mut Cursor<'_>) -> Result<HierarchySnapshot, Diagnostic> {
+    let mut levels = [CacheStats::default(); 3];
+    for level in &mut levels {
+        *level = CacheStats {
+            app_accesses: c.u64()?,
+            app_misses: c.u64()?,
+            os_accesses: c.u64()?,
+            os_misses: c.u64()?,
+            writebacks: c.u64()?,
+        };
+    }
+    Ok(HierarchySnapshot {
+        l1i: levels[0],
+        l1d: levels[1],
+        l2: levels[2],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_workloads::Benchmark;
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(Benchmark::Du).with_scale(0.02).with_seed(3)
+    }
+
+    fn run_partial(intervals: u64) -> FullSystemSim {
+        let mut sim = FullSystemSim::new(cfg());
+        for _ in 0..intervals {
+            let inv = sim.advance_to_service().expect("short prefix");
+            sim.execute_service(&inv);
+        }
+        sim
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_bytes() {
+        let sim = run_partial(25);
+        let ck = Checkpoint::capture(&sim);
+        let decoded = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(decoded, ck);
+    }
+
+    #[test]
+    fn corrupted_checkpoint_is_rejected() {
+        let ck = Checkpoint::capture(&run_partial(5));
+        let mut bytes = ck.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        assert_eq!(Checkpoint::decode(&bytes).unwrap_err().code, "OSPT003");
+        let trace_magic_mixup = {
+            let mut b = ck.encode();
+            b[..4].copy_from_slice(&wire::MAGIC);
+            b
+        };
+        assert_eq!(
+            Checkpoint::decode(&trace_magic_mixup).unwrap_err().code,
+            "OSPT001"
+        );
+    }
+
+    #[test]
+    fn restore_reaches_the_same_probe() {
+        let sim = run_partial(25);
+        let ck = Checkpoint::capture(&sim);
+        let restored = ck.restore().unwrap();
+        assert_eq!(restored.probe(), sim.probe());
+    }
+
+    #[test]
+    fn restore_then_continue_matches_uninterrupted_run() {
+        let uninterrupted = FullSystemSim::new(cfg()).run_to_completion();
+        let ck = Checkpoint::capture(&run_partial(30));
+        let mut resumed = ck.restore().unwrap();
+        let finished = resumed.run_to_completion();
+        assert_eq!(finished.total_cycles, uninterrupted.total_cycles);
+        assert_eq!(
+            finished.total_instructions,
+            uninterrupted.total_instructions
+        );
+        assert_eq!(finished.caches, uninterrupted.caches);
+        assert_eq!(finished.intervals, uninterrupted.intervals);
+    }
+
+    #[test]
+    fn stale_probe_fails_with_ospt020() {
+        let mut ck = Checkpoint::capture(&run_partial(10));
+        ck.probe.total_cycles += 1;
+        assert_eq!(ck.restore().err().expect("must fail").code, "OSPT020");
+    }
+
+    #[test]
+    fn unreachable_boundary_fails_with_ospt021() {
+        let mut ck = Checkpoint::capture(&run_partial(10));
+        ck.probe.seq = u64::MAX;
+        assert_eq!(ck.restore().err().expect("must fail").code, "OSPT021");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("osprey-trace-ck-test");
+        let path = dir.join("ck.ospc");
+        let ck = Checkpoint::capture(&run_partial(5));
+        ck.write_to(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ck);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,122 @@
+//! The `OSPT0xx` diagnostic range: typed errors for trace decoding,
+//! structural verification, and checkpoint restore.
+//!
+//! Following the workspace convention (`OSPVxxx` for the static program
+//! verifier, `OSPRxxx` for the report layer), the trace subsystem owns
+//! `OSPT001`–`OSPT099`:
+//!
+//! | code     | meaning                                               |
+//! |----------|-------------------------------------------------------|
+//! | OSPT001  | bad magic — not a trace/checkpoint file               |
+//! | OSPT002  | truncated — data ran out mid-record                   |
+//! | OSPT003  | checksum mismatch — corrupted content                 |
+//! | OSPT004  | version skew — produced by a different format version |
+//! | OSPT005  | malformed record (unknown tag, bad UTF-8, bad enum)   |
+//! | OSPT006  | unknown service / benchmark / core-model identifier   |
+//! | OSPT007  | I/O error reading or writing the file                 |
+//! | OSPT008  | event count disagrees with the end-of-stream record   |
+//! | OSPT010  | interval sequence numbers are not strictly increasing |
+//! | OSPT011  | interval service disagrees with its invocation event  |
+//! | OSPT012  | prediction precedes the first learning window         |
+//! | OSPT013  | no summary record (replay impossible)                 |
+//! | OSPT014  | invocation without a matching interval record         |
+//! | OSPT015  | trace is not a detailed recording (replay impossible) |
+//! | OSPT020  | checkpoint probe mismatch on restore                  |
+//! | OSPT021  | checkpoint boundary lies beyond the end of the run    |
+
+use osprey_report::Diagnostic;
+
+/// OSPT001: the stream does not start with the expected magic.
+pub fn bad_magic(expected: &[u8; 4], got: &[u8]) -> Diagnostic {
+    Diagnostic::error(
+        "OSPT001",
+        "byte 0",
+        format!(
+            "bad magic: expected {:?}, found {:?}",
+            String::from_utf8_lossy(expected),
+            String::from_utf8_lossy(got)
+        ),
+    )
+}
+
+/// OSPT002: the stream ended in the middle of a record.
+pub fn truncated(at: usize, wanted: usize, available: usize) -> Diagnostic {
+    Diagnostic::error(
+        "OSPT002",
+        format!("byte {at}"),
+        format!("truncated stream: needed {wanted} more bytes, {available} available"),
+    )
+}
+
+/// OSPT003: the trailing checksum does not match the content.
+pub fn checksum_mismatch(expected: u64, computed: u64) -> Diagnostic {
+    Diagnostic::error(
+        "OSPT003",
+        "checksum",
+        format!("checksum mismatch: stored {expected:#018x}, computed {computed:#018x}"),
+    )
+}
+
+/// OSPT004: the file was produced by a different format version.
+pub fn version_skew(found: u16, supported: u16) -> Diagnostic {
+    Diagnostic::error(
+        "OSPT004",
+        "header",
+        format!("format version {found} is not supported (this build reads version {supported})"),
+    )
+}
+
+/// OSPT005: a structurally malformed record.
+pub fn malformed(at: usize, what: &str) -> Diagnostic {
+    Diagnostic::error("OSPT005", format!("byte {at}"), what.to_string())
+}
+
+/// OSPT006: an identifier that decodes to nothing in this build.
+pub fn unknown_id(at: usize, kind: &str, value: impl std::fmt::Display) -> Diagnostic {
+    Diagnostic::error(
+        "OSPT006",
+        format!("byte {at}"),
+        format!("unknown {kind}: {value}"),
+    )
+}
+
+/// OSPT007: an I/O failure while reading or writing a file.
+pub fn io(path: &std::path::Path, err: &std::io::Error) -> Diagnostic {
+    Diagnostic::error("OSPT007", path.display().to_string(), err.to_string())
+}
+
+/// OSPT008: the end-of-stream record counted a different number of
+/// events than the stream contains.
+pub fn count_mismatch(declared: u64, decoded: u64) -> Diagnostic {
+    Diagnostic::error(
+        "OSPT008",
+        "end record",
+        format!("event count mismatch: end record declares {declared}, decoded {decoded}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_in_the_ospt_range() {
+        let diags = [
+            bad_magic(b"OSPT", b"ELF\x7f"),
+            truncated(12, 8, 3),
+            checksum_mismatch(1, 2),
+            version_skew(9, 1),
+            malformed(0, "x"),
+            unknown_id(4, "service", 250),
+            io(
+                std::path::Path::new("/nope"),
+                &std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+            ),
+            count_mismatch(10, 9),
+        ];
+        for d in &diags {
+            assert!(d.code.starts_with("OSPT00"), "{}", d.code);
+            assert!(d.is_error());
+        }
+    }
+}

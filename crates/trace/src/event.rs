@@ -1,0 +1,560 @@
+//! Trace stream contents: the run metadata header, the per-interval
+//! event records, and the end-of-run summary.
+//!
+//! Encoding and decoding live here, next to the types, so the writer and
+//! reader cannot drift apart. Layout (version 1, all integers
+//! little-endian, strings `u16`-length-prefixed UTF-8):
+//!
+//! ```text
+//! header   := magic "OSPT" · version u16 · meta
+//! meta     := benchmark str · seed u64 · scale f64 · l2_bytes u64
+//!             · core str · os_mode u8 · kernel (7 × u64)
+//!             · snapshot_every u64
+//! event    := 0x01 invocation · 0x02 simulated · 0x03 predicted
+//!             · 0x04 decision · 0x05 snapshot · 0x06 summary
+//! trailer  := 0xFF · event count u64 · checksum u64
+//! ```
+//!
+//! Wall-clock times are deliberately **not** recorded: a trace of a
+//! deterministic run is itself deterministic, byte for byte, which is
+//! what the golden-fixture regression test pins.
+
+use osprey_isa::ServiceId;
+use osprey_mem::{CacheStats, HierarchySnapshot};
+use osprey_os::KernelConfig;
+use osprey_report::Diagnostic;
+use osprey_sim::interval::IntervalSource;
+use osprey_sim::{CoreModel, CounterSnapshot, IntervalRecord, OsMode, RunReport, SimConfig};
+use osprey_workloads::Benchmark;
+
+use crate::codes;
+use crate::wire::{self, Cursor};
+
+/// Event tag: OS service invocation (signature observation).
+pub const TAG_INVOCATION: u8 = 0x01;
+/// Event tag: fully simulated interval record.
+pub const TAG_SIMULATED: u8 = 0x02;
+/// Event tag: predicted interval record.
+pub const TAG_PREDICTED: u8 = 0x03;
+/// Event tag: accelerator decision.
+pub const TAG_DECISION: u8 = 0x04;
+/// Event tag: periodic counter snapshot.
+pub const TAG_SNAPSHOT: u8 = 0x05;
+/// Event tag: end-of-run summary.
+pub const TAG_SUMMARY: u8 = 0x06;
+/// Stream terminator tag (followed by the event count).
+pub const TAG_END: u8 = 0xFF;
+
+/// The recorded run's configuration — everything needed to rebuild the
+/// identical [`SimConfig`] (and therefore to re-record or checkpoint the
+/// same run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Workload that was recorded.
+    pub benchmark: Benchmark,
+    /// Master seed.
+    pub seed: u64,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Processor timing model.
+    pub core: CoreModel,
+    /// Full-system or application-only.
+    pub os_mode: OsMode,
+    /// Synthetic-kernel tunables.
+    pub kernel: KernelConfig,
+    /// Interval period between snapshot events.
+    pub snapshot_every: u64,
+}
+
+impl TraceMeta {
+    /// Captures the metadata of a run configuration.
+    pub fn from_config(cfg: &SimConfig, snapshot_every: u64) -> Self {
+        Self {
+            benchmark: cfg.benchmark,
+            seed: cfg.seed,
+            scale: cfg.scale,
+            l2_bytes: cfg.l2_bytes,
+            core: cfg.core,
+            os_mode: cfg.os_mode,
+            kernel: cfg.kernel,
+            snapshot_every,
+        }
+    }
+
+    /// Rebuilds the [`SimConfig`] this trace was recorded from.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::new(self.benchmark)
+            .with_seed(self.seed)
+            .with_scale(self.scale)
+            .with_l2_bytes(self.l2_bytes)
+            .with_core(self.core)
+            .with_os_mode(self.os_mode)
+            .with_kernel(self.kernel)
+    }
+
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_str(buf, self.benchmark.name());
+        wire::put_u64(buf, self.seed);
+        wire::put_f64(buf, self.scale);
+        wire::put_u64(buf, self.l2_bytes);
+        wire::put_str(buf, self.core.name());
+        wire::put_u8(buf, matches!(self.os_mode, OsMode::AppOnly) as u8);
+        wire::put_u64(buf, self.kernel.page_cache_pages as u64);
+        wire::put_u64(buf, self.kernel.dentry_capacity as u64);
+        wire::put_u64(buf, self.kernel.socket_buf_bytes);
+        wire::put_u64(buf, self.kernel.timer_period);
+        wire::put_u64(buf, self.kernel.disk_latency_instr);
+        wire::put_u64(buf, self.kernel.nic_delay_instr);
+        wire::put_u64(buf, self.kernel.dirty_flush_bytes);
+        wire::put_u64(buf, self.snapshot_every);
+    }
+
+    pub(crate) fn decode(c: &mut Cursor<'_>) -> Result<Self, Diagnostic> {
+        let at = c.pos();
+        let bench_name = c.str()?;
+        let benchmark = Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name() == bench_name)
+            .ok_or_else(|| codes::unknown_id(at, "benchmark", bench_name))?;
+        let seed = c.u64()?;
+        let scale = c.f64()?;
+        let l2_bytes = c.u64()?;
+        let core_at = c.pos();
+        let core_name = c.str()?;
+        let core = decode_core(core_name)
+            .ok_or_else(|| codes::unknown_id(core_at, "core model", core_name))?;
+        let mode_at = c.pos();
+        let os_mode = match c.u8()? {
+            0 => OsMode::Full,
+            1 => OsMode::AppOnly,
+            other => return Err(codes::unknown_id(mode_at, "os mode", other)),
+        };
+        let kernel = KernelConfig {
+            page_cache_pages: c.u64()? as usize,
+            dentry_capacity: c.u64()? as usize,
+            socket_buf_bytes: c.u64()?,
+            timer_period: c.u64()?,
+            disk_latency_instr: c.u64()?,
+            nic_delay_instr: c.u64()?,
+            dirty_flush_bytes: c.u64()?,
+        };
+        let snapshot_every = c.u64()?;
+        if scale.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || snapshot_every == 0 {
+            return Err(codes::malformed(
+                at,
+                "meta carries a non-positive scale or snapshot period",
+            ));
+        }
+        Ok(Self {
+            benchmark,
+            seed,
+            scale,
+            l2_bytes,
+            core,
+            os_mode,
+            kernel,
+            snapshot_every,
+        })
+    }
+}
+
+fn decode_core(name: &str) -> Option<CoreModel> {
+    [
+        CoreModel::OooCache,
+        CoreModel::OooNoCache,
+        CoreModel::InOrderCache,
+        CoreModel::InOrderNoCache,
+        CoreModel::Emulation,
+    ]
+    .into_iter()
+    .find(|m| m.name() == name)
+}
+
+/// One event in a trace stream, in the order it happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An OS service invocation with its behavior signature.
+    Invocation {
+        /// Service that was invoked.
+        service: ServiceId,
+        /// Dynamic instruction count — the signature.
+        instructions: u64,
+    },
+    /// An interval executed in full detail.
+    Simulated(IntervalRecord),
+    /// An interval fast-forwarded and predicted.
+    Predicted(IntervalRecord),
+    /// The accelerator's learn-vs-predict choice for an invocation.
+    Decision {
+        /// Service the decision was about.
+        service: ServiceId,
+        /// `true` when the interval was predicted rather than simulated.
+        predicted: bool,
+        /// PLT cluster index the prediction came from, when one exists.
+        cluster: Option<u32>,
+        /// Member share of that cluster (0 when no cluster exists).
+        confidence: f64,
+    },
+    /// A periodic machine-counter snapshot.
+    Snapshot(CounterSnapshot),
+}
+
+impl TraceEvent {
+    /// The service this event concerns, when it concerns one.
+    pub fn service(&self) -> Option<ServiceId> {
+        match self {
+            TraceEvent::Invocation { service, .. } | TraceEvent::Decision { service, .. } => {
+                Some(*service)
+            }
+            TraceEvent::Simulated(r) | TraceEvent::Predicted(r) => Some(r.service),
+            TraceEvent::Snapshot(_) => None,
+        }
+    }
+
+    /// The interval record, for interval events.
+    pub fn interval(&self) -> Option<&IntervalRecord> {
+        match self {
+            TraceEvent::Simulated(r) | TraceEvent::Predicted(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TraceEvent::Invocation {
+                service,
+                instructions,
+            } => {
+                wire::put_u8(buf, TAG_INVOCATION);
+                put_service(buf, *service);
+                wire::put_u64(buf, *instructions);
+            }
+            TraceEvent::Simulated(r) => {
+                wire::put_u8(buf, TAG_SIMULATED);
+                put_record(buf, r);
+            }
+            TraceEvent::Predicted(r) => {
+                wire::put_u8(buf, TAG_PREDICTED);
+                put_record(buf, r);
+            }
+            TraceEvent::Decision {
+                service,
+                predicted,
+                cluster,
+                confidence,
+            } => {
+                wire::put_u8(buf, TAG_DECISION);
+                put_service(buf, *service);
+                wire::put_u8(buf, *predicted as u8);
+                match cluster {
+                    Some(idx) => {
+                        wire::put_u8(buf, 1);
+                        wire::put_u32(buf, *idx);
+                    }
+                    None => {
+                        wire::put_u8(buf, 0);
+                        wire::put_u32(buf, 0);
+                    }
+                }
+                wire::put_f64(buf, *confidence);
+            }
+            TraceEvent::Snapshot(s) => {
+                wire::put_u8(buf, TAG_SNAPSHOT);
+                wire::put_u64(buf, s.seq);
+                wire::put_u64(buf, s.instret);
+                wire::put_u64(buf, s.cycles);
+                put_hierarchy(buf, &s.caches);
+            }
+        }
+    }
+
+    /// Decodes the event whose tag has already been consumed.
+    pub(crate) fn decode(tag: u8, c: &mut Cursor<'_>) -> Result<Self, Diagnostic> {
+        match tag {
+            TAG_INVOCATION => Ok(TraceEvent::Invocation {
+                service: get_service(c)?,
+                instructions: c.u64()?,
+            }),
+            TAG_SIMULATED => Ok(TraceEvent::Simulated(get_record(
+                c,
+                IntervalSource::Simulated,
+            )?)),
+            TAG_PREDICTED => Ok(TraceEvent::Predicted(get_record(
+                c,
+                IntervalSource::Predicted,
+            )?)),
+            TAG_DECISION => {
+                let service = get_service(c)?;
+                let at = c.pos();
+                let predicted = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(codes::unknown_id(at, "decision flag", other)),
+                };
+                let has_cluster = c.u8()? != 0;
+                let idx = c.u32()?;
+                let confidence = c.f64()?;
+                Ok(TraceEvent::Decision {
+                    service,
+                    predicted,
+                    cluster: has_cluster.then_some(idx),
+                    confidence,
+                })
+            }
+            TAG_SNAPSHOT => Ok(TraceEvent::Snapshot(CounterSnapshot {
+                seq: c.u64()?,
+                instret: c.u64()?,
+                cycles: c.u64()?,
+                caches: get_hierarchy(c)?,
+            })),
+            other => Err(codes::malformed(
+                c.pos().saturating_sub(1),
+                &format!("unknown event tag {other:#04x}"),
+            )),
+        }
+    }
+}
+
+/// The recorded run's final report, minus the wall clock and the interval
+/// list (the intervals *are* the event stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Benchmark name as reported.
+    pub benchmark: String,
+    /// Core-model label the run used.
+    pub mode: String,
+    /// Total retired instructions.
+    pub total_instructions: u64,
+    /// User-mode instructions.
+    pub user_instructions: u64,
+    /// Kernel-mode instructions.
+    pub os_instructions: u64,
+    /// Total cycles.
+    pub total_cycles: u64,
+    /// Cache counters including predicted contributions.
+    pub caches: HierarchySnapshot,
+    /// Cache counters from detailed simulation only.
+    pub measured_caches: HierarchySnapshot,
+}
+
+impl TraceSummary {
+    /// Extracts the summary of a finished run report.
+    pub fn from_report(report: &RunReport) -> Self {
+        Self {
+            benchmark: report.benchmark.clone(),
+            mode: report.mode.clone(),
+            total_instructions: report.total_instructions,
+            user_instructions: report.user_instructions,
+            os_instructions: report.os_instructions,
+            total_cycles: report.total_cycles,
+            caches: report.caches,
+            measured_caches: report.measured_caches,
+        }
+    }
+
+    pub(crate) fn encode(&self, buf: &mut Vec<u8>) {
+        wire::put_u8(buf, TAG_SUMMARY);
+        wire::put_str(buf, &self.benchmark);
+        wire::put_str(buf, &self.mode);
+        wire::put_u64(buf, self.total_instructions);
+        wire::put_u64(buf, self.user_instructions);
+        wire::put_u64(buf, self.os_instructions);
+        wire::put_u64(buf, self.total_cycles);
+        put_hierarchy(buf, &self.caches);
+        put_hierarchy(buf, &self.measured_caches);
+    }
+
+    pub(crate) fn decode(c: &mut Cursor<'_>) -> Result<Self, Diagnostic> {
+        Ok(Self {
+            benchmark: c.str()?.to_string(),
+            mode: c.str()?.to_string(),
+            total_instructions: c.u64()?,
+            user_instructions: c.u64()?,
+            os_instructions: c.u64()?,
+            total_cycles: c.u64()?,
+            caches: get_hierarchy(c)?,
+            measured_caches: get_hierarchy(c)?,
+        })
+    }
+}
+
+fn put_service(buf: &mut Vec<u8>, service: ServiceId) {
+    wire::put_u8(buf, service.index() as u8);
+}
+
+fn get_service(c: &mut Cursor<'_>) -> Result<ServiceId, Diagnostic> {
+    let at = c.pos();
+    let idx = c.u8()?;
+    ServiceId::ALL
+        .get(idx as usize)
+        .copied()
+        .ok_or_else(|| codes::unknown_id(at, "service id", idx))
+}
+
+fn put_cache(buf: &mut Vec<u8>, s: &CacheStats) {
+    wire::put_u64(buf, s.app_accesses);
+    wire::put_u64(buf, s.app_misses);
+    wire::put_u64(buf, s.os_accesses);
+    wire::put_u64(buf, s.os_misses);
+    wire::put_u64(buf, s.writebacks);
+}
+
+fn get_cache(c: &mut Cursor<'_>) -> Result<CacheStats, Diagnostic> {
+    Ok(CacheStats {
+        app_accesses: c.u64()?,
+        app_misses: c.u64()?,
+        os_accesses: c.u64()?,
+        os_misses: c.u64()?,
+        writebacks: c.u64()?,
+    })
+}
+
+fn put_hierarchy(buf: &mut Vec<u8>, h: &HierarchySnapshot) {
+    put_cache(buf, &h.l1i);
+    put_cache(buf, &h.l1d);
+    put_cache(buf, &h.l2);
+}
+
+fn get_hierarchy(c: &mut Cursor<'_>) -> Result<HierarchySnapshot, Diagnostic> {
+    Ok(HierarchySnapshot {
+        l1i: get_cache(c)?,
+        l1d: get_cache(c)?,
+        l2: get_cache(c)?,
+    })
+}
+
+fn put_record(buf: &mut Vec<u8>, r: &IntervalRecord) {
+    put_service(buf, r.service);
+    wire::put_str(buf, r.path);
+    wire::put_u64(buf, r.seq);
+    wire::put_u64(buf, r.invocation);
+    wire::put_u64(buf, r.instructions);
+    wire::put_u64(buf, r.loads);
+    wire::put_u64(buf, r.stores);
+    wire::put_u64(buf, r.branches);
+    wire::put_u64(buf, r.cycles);
+    put_hierarchy(buf, &r.caches);
+}
+
+fn get_record(c: &mut Cursor<'_>, source: IntervalSource) -> Result<IntervalRecord, Diagnostic> {
+    Ok(IntervalRecord {
+        service: get_service(c)?,
+        path: crate::intern(c.str()?),
+        seq: c.u64()?,
+        invocation: c.u64()?,
+        instructions: c.u64()?,
+        loads: c.u64()?,
+        stores: c.u64()?,
+        branches: c.u64()?,
+        cycles: c.u64()?,
+        caches: get_hierarchy(c)?,
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> IntervalRecord {
+        IntervalRecord {
+            service: ServiceId::SysOpen,
+            path: "open/hit",
+            seq: 17,
+            invocation: 3,
+            instructions: 1_234,
+            loads: 400,
+            stores: 120,
+            branches: 90,
+            cycles: 5_678,
+            caches: HierarchySnapshot::default(),
+            source: IntervalSource::Simulated,
+        }
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let cfg = SimConfig::new(Benchmark::Iperf)
+            .with_seed(42)
+            .with_scale(0.25)
+            .with_l2_bytes(512 * 1024)
+            .with_core(CoreModel::InOrderCache);
+        let meta = TraceMeta::from_config(&cfg, 32);
+        let mut buf = Vec::new();
+        meta.encode(&mut buf);
+        let decoded = TraceMeta::decode(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(decoded, meta);
+        let rebuilt = decoded.sim_config();
+        assert_eq!(rebuilt.benchmark, cfg.benchmark);
+        assert_eq!(rebuilt.seed, cfg.seed);
+        assert_eq!(rebuilt.l2_bytes, cfg.l2_bytes);
+        assert_eq!(rebuilt.core, cfg.core);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = [
+            TraceEvent::Invocation {
+                service: ServiceId::IntTimer,
+                instructions: 999,
+            },
+            TraceEvent::Simulated(sample_record()),
+            TraceEvent::Predicted(IntervalRecord {
+                source: IntervalSource::Predicted,
+                ..sample_record()
+            }),
+            TraceEvent::Decision {
+                service: ServiceId::SysRead,
+                predicted: true,
+                cluster: Some(2),
+                confidence: 0.875,
+            },
+            TraceEvent::Decision {
+                service: ServiceId::SysRead,
+                predicted: false,
+                cluster: None,
+                confidence: 0.0,
+            },
+            TraceEvent::Snapshot(CounterSnapshot {
+                seq: 64,
+                instret: 1 << 20,
+                cycles: 1 << 21,
+                caches: HierarchySnapshot::default(),
+            }),
+        ];
+        for event in events {
+            let mut buf = Vec::new();
+            event.encode(&mut buf);
+            let mut c = Cursor::new(&buf);
+            let tag = c.u8().unwrap();
+            let decoded = TraceEvent::decode(tag, &mut c).unwrap();
+            assert_eq!(decoded, event);
+            assert_eq!(c.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn unknown_service_index_is_ospt006() {
+        let mut buf = Vec::new();
+        wire::put_u8(&mut buf, 200);
+        wire::put_u64(&mut buf, 1);
+        let err = TraceEvent::decode(TAG_INVOCATION, &mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.code, "OSPT006");
+    }
+
+    #[test]
+    fn unknown_tag_is_ospt005() {
+        let err = TraceEvent::decode(0x77, &mut Cursor::new(&[])).unwrap_err();
+        assert_eq!(err.code, "OSPT005");
+    }
+
+    #[test]
+    fn unknown_benchmark_name_is_ospt006() {
+        let mut buf = Vec::new();
+        wire::put_str(&mut buf, "not-a-benchmark");
+        let err = TraceMeta::decode(&mut Cursor::new(&buf)).unwrap_err();
+        assert_eq!(err.code, "OSPT006");
+    }
+}

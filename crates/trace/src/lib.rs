@@ -1,0 +1,83 @@
+//! Deterministic trace capture, offline replay, and interval
+//! checkpointing for Osprey simulations.
+//!
+//! The paper's acceleration scheme (§4) separates *observing* OS service
+//! intervals from *predicting* them — yet live experiments pay full
+//! detailed-simulation cost to feed the same interval stream into every
+//! predictor configuration. This crate makes the stream a first-class
+//! artifact:
+//!
+//! * **Record** ([`record_bytes`] / [`SharedSink`] + [`TraceWriter`]):
+//!   a detailed run streams per-interval events — service invocations
+//!   with their instruction-count signatures, full [`IntervalRecord`]s,
+//!   accelerator decisions, periodic counter snapshots — into a
+//!   versioned, dependency-free binary format sealed by a SplitMix64
+//!   checksum.
+//! * **Replay** ([`ReplaySim`]): drive `osprey-core` learning,
+//!   clustering, and prediction from a [`TraceReader`] instead of live
+//!   simulation, producing the same `RunReport` shape at I/O cost.
+//!   Predictor ablations become trace-bound, embarrassingly parallel
+//!   jobs.
+//! * **Checkpoint** ([`Checkpoint`]): serialize a run's recipe, interval
+//!   position, and counter probe at an interval boundary; restore
+//!   rebuilds the machine deterministically and *verifies* the probe, so
+//!   resumed runs are provably identical to uninterrupted ones.
+//!
+//! Corruption, truncation, and version skew are hard, typed errors
+//! ([`osprey_report::Diagnostic`], `OSPT0xx` codes — see [`codes`]),
+//! never panics or silent garbage. Structural invariants of honest
+//! recordings are checked by [`verify_trace`].
+//!
+//! [`IntervalRecord`]: osprey_sim::IntervalRecord
+
+pub mod checkpoint;
+pub mod codes;
+pub mod event;
+pub mod reader;
+pub mod record;
+pub mod replay;
+pub mod verify;
+pub mod wire;
+pub mod writer;
+
+pub use checkpoint::Checkpoint;
+pub use event::{TraceEvent, TraceMeta, TraceSummary};
+pub use reader::{Trace, TraceReader};
+pub use record::{record_bytes, record_run};
+pub use replay::{ReplayOutcome, ReplaySim};
+pub use verify::verify_trace;
+pub use writer::{SharedSink, TraceWriter};
+
+/// Interns a decoded execution-path label as a `&'static str`.
+///
+/// [`osprey_sim::IntervalRecord`] stores its `path` as `&'static str`
+/// (the kernel hands out static labels). Decoded traces must produce the
+/// same type, so each *distinct* label is leaked exactly once and reused
+/// for every later occurrence. The label set is the kernel's fixed path
+/// vocabulary plus `"(predicted)"` — a few dozen short strings — so the
+/// leak is bounded for any number of traces read.
+pub(crate) fn intern(s: &str) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static POOL: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let pool = POOL.get_or_init(|| Mutex::new(Vec::new()));
+    let mut pool = pool.lock().expect("path interner poisoned");
+    if let Some(&existing) = pool.iter().find(|&&p| p == s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn intern_returns_the_same_pointer_for_equal_strings() {
+        let a = crate::intern("open/hit");
+        let b = crate::intern(&String::from("open/hit"));
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "open/hit");
+        let c = crate::intern("open/miss");
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,190 @@
+//! Trace decoding with hard, typed failure modes.
+//!
+//! [`TraceReader`] validates the whole stream before returning a
+//! [`Trace`]: magic, format version, trailing checksum, every record, and
+//! the terminator's event count. Corruption and version skew are
+//! [`Diagnostic`] errors in the `OSPT00x` range, never panics and never
+//! silently-wrong data.
+
+use std::path::Path;
+
+use osprey_report::Diagnostic;
+
+use crate::codes;
+use crate::event::{TraceEvent, TraceMeta, TraceSummary, TAG_END, TAG_SUMMARY};
+use crate::wire::{self, Cursor};
+
+/// A fully decoded and validated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The recorded run's configuration.
+    pub meta: TraceMeta,
+    /// Every event, in stream order.
+    pub events: Vec<TraceEvent>,
+    /// The end-of-run summary, when the recording completed.
+    pub summary: Option<TraceSummary>,
+}
+
+impl Trace {
+    /// Iterates the interval records (simulated and predicted) in order.
+    pub fn intervals(&self) -> impl Iterator<Item = &osprey_sim::IntervalRecord> {
+        self.events.iter().filter_map(TraceEvent::interval)
+    }
+
+    /// `true` when every interval in the trace was fully simulated —
+    /// the precondition for replaying learning from it.
+    pub fn is_detailed(&self) -> bool {
+        !self
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Predicted(_)))
+    }
+}
+
+/// Decoder entry points.
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Decodes and validates a complete trace stream.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, Diagnostic> {
+        let payload = validate_envelope(bytes, &wire::MAGIC)?;
+        let mut c = Cursor::new(payload);
+        // Envelope validation consumed magic+version; skip them again.
+        c.u32()?; // magic
+        c.u16()?; // version
+        let meta = TraceMeta::decode(&mut c)?;
+        let mut events = Vec::new();
+        let mut summary = None;
+        loop {
+            let at = c.pos();
+            let tag = c.u8()?;
+            match tag {
+                TAG_END => {
+                    let declared = c.u64()?;
+                    let decoded = events.len() as u64 + summary.is_some() as u64;
+                    if declared != decoded {
+                        return Err(codes::count_mismatch(declared, decoded));
+                    }
+                    if c.remaining() != 0 {
+                        return Err(codes::malformed(
+                            c.pos(),
+                            &format!("{} trailing bytes after end record", c.remaining()),
+                        ));
+                    }
+                    break;
+                }
+                TAG_SUMMARY => {
+                    if summary.is_some() {
+                        return Err(codes::malformed(at, "duplicate summary record"));
+                    }
+                    summary = Some(TraceSummary::decode(&mut c)?);
+                }
+                other => events.push(TraceEvent::decode(other, &mut c)?),
+            }
+        }
+        Ok(Trace {
+            meta,
+            events,
+            summary,
+        })
+    }
+
+    /// Reads and decodes a trace file.
+    pub fn open(path: &Path) -> Result<Trace, Diagnostic> {
+        let bytes = std::fs::read(path).map_err(|e| codes::io(path, &e))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// Checks magic, version, and trailing checksum; returns the bytes up to
+/// (but not including) the checksum. Shared with checkpoint decoding.
+pub(crate) fn validate_envelope<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+) -> Result<&'a [u8], Diagnostic> {
+    if bytes.len() < 4 || &bytes[..4] != magic {
+        return Err(codes::bad_magic(magic, &bytes[..bytes.len().min(4)]));
+    }
+    // Header (magic + version) plus the trailing checksum must fit.
+    if bytes.len() < 4 + 2 + 8 {
+        return Err(codes::truncated(bytes.len(), 4 + 2 + 8, bytes.len()));
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != wire::VERSION {
+        return Err(codes::version_skew(version, wire::VERSION));
+    }
+    let (payload, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    let computed = wire::checksum(payload);
+    if stored != computed {
+        return Err(codes::checksum_mismatch(stored, computed));
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::TraceWriter;
+    use osprey_isa::ServiceId;
+    use osprey_sim::SimConfig;
+    use osprey_workloads::Benchmark;
+
+    fn sample_bytes() -> Vec<u8> {
+        let meta = TraceMeta::from_config(&SimConfig::new(Benchmark::Du).with_scale(0.02), 64);
+        let mut w = TraceWriter::new(&meta);
+        w.invocation(ServiceId::SysLstat64, 321);
+        w.decision(ServiceId::SysLstat64, false, None, 0.0);
+        w.finish()
+    }
+
+    #[test]
+    fn encoded_stream_decodes() {
+        let trace = TraceReader::from_bytes(&sample_bytes()).unwrap();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.meta.benchmark, Benchmark::Du);
+        assert!(trace.summary.is_none());
+        assert!(trace.is_detailed());
+    }
+
+    #[test]
+    fn bad_magic_is_ospt001() {
+        let mut bytes = sample_bytes();
+        bytes[0] = b'X';
+        assert_eq!(TraceReader::from_bytes(&bytes).unwrap_err().code, "OSPT001");
+    }
+
+    #[test]
+    fn bumped_version_is_ospt004() {
+        let mut bytes = sample_bytes();
+        bytes[4] = 0x63; // version 99
+        assert_eq!(TraceReader::from_bytes(&bytes).unwrap_err().code, "OSPT004");
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_ospt003() {
+        let mut bytes = sample_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert_eq!(TraceReader::from_bytes(&bytes).unwrap_err().code, "OSPT003");
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error() {
+        let bytes = sample_bytes();
+        for keep in [0, 3, 8, bytes.len() / 2, bytes.len() - 1] {
+            let err = TraceReader::from_bytes(&bytes[..keep]).unwrap_err();
+            assert!(
+                matches!(err.code, "OSPT001" | "OSPT002" | "OSPT003"),
+                "keep={keep} gave {}",
+                err.code
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_is_ospt007() {
+        let err = TraceReader::open(Path::new("/nonexistent/osprey.ospt")).unwrap_err();
+        assert_eq!(err.code, "OSPT007");
+    }
+}

@@ -1,0 +1,91 @@
+//! One-call recording of a detailed run.
+//!
+//! Recording always captures a *detailed* run (every interval fully
+//! simulated): that is the strategy-independent ground truth any
+//! [`crate::ReplaySim`] configuration can be evaluated against. Recording
+//! an accelerated run would bake one predictor's choices — and its
+//! pollution feedback — into the trace, making it useless for ablations.
+
+use osprey_sim::{FullSystemSim, RunReport, SimConfig};
+
+use crate::event::{TraceMeta, TraceSummary};
+use crate::reader::{Trace, TraceReader};
+use crate::writer::{SharedSink, TraceWriter};
+
+/// Runs `cfg` in full detail with a trace sink installed and returns the
+/// sealed trace bytes alongside the live report.
+///
+/// # Panics
+///
+/// Panics if the configuration fails static program verification or if
+/// `snapshot_every` is zero (same contract as [`FullSystemSim::new`]).
+pub fn record_bytes(cfg: &SimConfig, snapshot_every: u64) -> (Vec<u8>, RunReport) {
+    let meta = TraceMeta::from_config(cfg, snapshot_every);
+    let mut sim = FullSystemSim::new(cfg.clone());
+    sim.set_snapshot_every(snapshot_every);
+    let sink = SharedSink::new(TraceWriter::new(&meta));
+    sim.set_trace_sink(Box::new(sink.clone()));
+    let report = sim.run_to_completion();
+    drop(sim.take_trace_sink());
+    let mut writer = sink.into_writer();
+    writer.summary(&TraceSummary::from_report(&report));
+    (writer.finish(), report)
+}
+
+/// Like [`record_bytes`] but returns the decoded [`Trace`], round-tripped
+/// through the wire format so callers exercise exactly what a reader of
+/// the file would see.
+pub fn record_run(cfg: &SimConfig, snapshot_every: u64) -> (Trace, RunReport) {
+    let (bytes, report) = record_bytes(cfg, snapshot_every);
+    let trace = TraceReader::from_bytes(&bytes).expect("a just-encoded trace decodes");
+    (trace, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use osprey_workloads::Benchmark;
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(Benchmark::Du).with_scale(0.02).with_seed(3)
+    }
+
+    #[test]
+    fn recording_is_byte_identical_across_runs() {
+        let (a, _) = record_bytes(&cfg(), 64);
+        let (b, _) = record_bytes(&cfg(), 64);
+        assert_eq!(a, b, "recording the same config must be deterministic");
+    }
+
+    #[test]
+    fn recorded_events_mirror_the_report() {
+        let (trace, report) = record_run(&cfg(), 64);
+        assert_eq!(trace.intervals().count(), report.intervals.len());
+        let invocations = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Invocation { .. }))
+            .count();
+        assert_eq!(invocations, report.intervals.len());
+        let summary = trace.summary.as_ref().expect("completed recording");
+        assert_eq!(summary.total_cycles, report.total_cycles);
+        assert_eq!(summary.total_instructions, report.total_instructions);
+        for (recorded, live) in trace.intervals().zip(&report.intervals) {
+            assert_eq!(recorded, live);
+        }
+    }
+
+    #[test]
+    fn snapshots_follow_the_configured_cadence() {
+        let (sparse, _) = record_run(&cfg(), 1024);
+        let (dense, _) = record_run(&cfg(), 8);
+        let count = |t: &Trace| {
+            t.events
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Snapshot(_)))
+                .count()
+        };
+        assert!(count(&dense) > count(&sparse));
+    }
+}

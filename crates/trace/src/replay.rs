@@ -1,0 +1,273 @@
+//! Offline replay: drive the learning/clustering/prediction machinery
+//! from a recorded trace instead of live simulation.
+//!
+//! A detailed trace carries every interval's ground truth, so any
+//! [`AccelConfig`] (strategy, window, cluster range, …) can be evaluated
+//! against it after the fact: intervals the learner would have simulated
+//! feed the PLT with their recorded characteristics; intervals it would
+//! have predicted contribute the PLT's prediction instead. The result has
+//! the same [`RunReport`] shape as a live [`osprey_core::AcceleratedSim`]
+//! run, so every downstream metric (coverage, cycle error, miss rates)
+//! works unchanged — at I/O cost rather than detailed-simulation cost.
+//!
+//! The only live effect replay cannot reproduce is the §4.5 pollution
+//! *feedback* — in co-simulation, predicted OS misses displace
+//! application cache lines, perturbing what later learning intervals
+//! measure. Replay evaluates the predictor against the *recorded*
+//! detailed run, which is exactly what makes it deterministic: the same
+//! trace and configuration always produce the same outcome, byte for
+//! byte (`osprey record` prints its summary through this same engine so
+//! record and replay output are identical).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use osprey_core::{AccelConfig, AccelStats, Decision, ServiceLearner};
+use osprey_isa::ServiceId;
+use osprey_report::Diagnostic;
+use osprey_sim::interval::IntervalSource;
+use osprey_sim::{IntervalRecord, RunReport};
+
+use crate::event::TraceEvent;
+use crate::reader::Trace;
+
+/// Result of a replayed run — the same shape as
+/// [`osprey_core::AccelOutcome`].
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// The reconstructed run report (simulated + predicted intervals).
+    pub report: RunReport,
+    /// Coverage and re-learning statistics.
+    pub stats: AccelStats,
+    /// Clusters learned per service at the end of the replay.
+    pub clusters_per_service: Vec<(ServiceId, usize)>,
+}
+
+impl ReplayOutcome {
+    /// The paper's headline coverage metric.
+    pub fn coverage(&self) -> f64 {
+        self.stats.coverage()
+    }
+}
+
+/// Replays learning and prediction over a decoded trace.
+pub struct ReplaySim<'a> {
+    trace: &'a Trace,
+    cfg: AccelConfig,
+}
+
+impl<'a> ReplaySim<'a> {
+    /// Prepares a replay.
+    ///
+    /// Fails with `OSPT013` when the trace has no summary record (the
+    /// recording never finished) or `OSPT015` when the trace is not a
+    /// detailed recording (predicted intervals carry no ground truth to
+    /// learn from).
+    pub fn new(trace: &'a Trace, cfg: AccelConfig) -> Result<Self, Diagnostic> {
+        if trace.summary.is_none() {
+            return Err(Diagnostic::error(
+                "OSPT013",
+                "trace",
+                "no summary record: the recording did not run to completion",
+            ));
+        }
+        if !trace.is_detailed() {
+            return Err(Diagnostic::error(
+                "OSPT015",
+                "trace",
+                "trace contains predicted intervals; replay needs a detailed recording",
+            ));
+        }
+        Ok(Self { trace, cfg })
+    }
+
+    /// Runs the replay to completion.
+    pub fn run(self) -> ReplayOutcome {
+        let started = Instant::now();
+        let summary = self.trace.summary.as_ref().expect("checked in new()");
+        let cfg = self.cfg;
+        let mut learners: HashMap<ServiceId, ServiceLearner> = HashMap::new();
+        let mut stats = AccelStats::new();
+        let mut intervals: Vec<IntervalRecord> = Vec::new();
+        // Baseline: subtract every recorded interval from the summary to
+        // isolate the user-mode (application) share, which replay reuses
+        // untouched — the functional user stream does not depend on how
+        // OS intervals are costed.
+        let mut recorded_os_cycles = 0u64;
+        let mut recorded_os_caches = osprey_mem::HierarchySnapshot::default();
+        for r in self.trace.intervals() {
+            recorded_os_cycles += r.cycles;
+            recorded_os_caches.add(&r.caches);
+        }
+        let user_cycles = summary.total_cycles - recorded_os_cycles;
+        let user_caches = summary.measured_caches.delta(&recorded_os_caches);
+
+        let mut replayed_cycles = 0u64;
+        let mut measured_caches = user_caches;
+        let mut extra_caches = osprey_mem::HierarchySnapshot::default();
+        for event in &self.trace.events {
+            let TraceEvent::Simulated(record) = event else {
+                continue;
+            };
+            let learner = learners.entry(record.service).or_insert_with(|| {
+                ServiceLearner::with_relearn_warmup(
+                    cfg.strategy,
+                    cfg.learning_window,
+                    cfg.warmup,
+                    cfg.cluster_range,
+                    cfg.epo_window,
+                    cfg.relearn_warmup,
+                )
+            });
+            match learner.decide() {
+                Decision::Simulate => {
+                    learner.observe_simulated(record);
+                    stats.count_simulated(record.service, record.instructions);
+                    replayed_cycles += record.cycles;
+                    measured_caches.add(&record.caches);
+                    intervals.push(*record);
+                }
+                Decision::Predict => {
+                    let signature = record.instructions;
+                    let relearns_before = learner.relearn_count();
+                    let perf = learner.predict(signature);
+                    if learner.relearn_count() > relearns_before {
+                        stats.count_relearn();
+                    }
+                    stats.count_predicted(record.service, signature);
+                    replayed_cycles += perf.cycles;
+                    extra_caches.add(&perf.caches);
+                    intervals.push(IntervalRecord {
+                        service: record.service,
+                        path: "(predicted)",
+                        seq: record.seq,
+                        invocation: record.invocation,
+                        instructions: signature,
+                        loads: 0,
+                        stores: 0,
+                        branches: 0,
+                        cycles: perf.cycles,
+                        caches: perf.caches,
+                        source: IntervalSource::Predicted,
+                    });
+                }
+            }
+        }
+
+        let mut caches = measured_caches;
+        caches.add(&extra_caches);
+        let os_instructions: u64 = intervals.iter().map(|r| r.instructions).sum();
+        let report = RunReport {
+            benchmark: summary.benchmark.clone(),
+            mode: summary.mode.clone(),
+            total_instructions: summary.user_instructions + os_instructions,
+            user_instructions: summary.user_instructions,
+            os_instructions,
+            total_cycles: user_cycles + replayed_cycles,
+            caches,
+            measured_caches,
+            intervals,
+            wall: started.elapsed(),
+        };
+        let mut clusters: Vec<(ServiceId, usize)> =
+            learners.iter().map(|(&s, l)| (s, l.plt().len())).collect();
+        clusters.sort_by_key(|&(s, _)| s);
+        ReplayOutcome {
+            report,
+            stats,
+            clusters_per_service: clusters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::record_run;
+    use osprey_core::RelearnStrategy;
+    use osprey_sim::SimConfig;
+    use osprey_workloads::Benchmark;
+
+    fn recorded() -> (Trace, RunReport) {
+        let cfg = SimConfig::new(Benchmark::Du).with_scale(0.05).with_seed(5);
+        record_run(&cfg, 64)
+    }
+
+    #[test]
+    fn replay_reconstructs_the_detailed_report_under_all_simulate() {
+        let (trace, live) = recorded();
+        // A learner that never finishes learning replays every interval
+        // from the recording: the report must match the live detailed
+        // run exactly (wall excluded).
+        let cfg = AccelConfig {
+            learning_window: u64::MAX,
+            ..AccelConfig::default()
+        };
+        let outcome = ReplaySim::new(&trace, cfg).unwrap().run();
+        assert_eq!(outcome.report.total_cycles, live.total_cycles);
+        assert_eq!(outcome.report.total_instructions, live.total_instructions);
+        assert_eq!(outcome.report.os_instructions, live.os_instructions);
+        assert_eq!(outcome.report.caches, live.caches);
+        assert_eq!(outcome.report.intervals, live.intervals);
+        assert_eq!(outcome.coverage(), 0.0);
+    }
+
+    #[test]
+    fn replay_predicts_and_stays_close_to_ground_truth() {
+        let cfg = SimConfig::new(Benchmark::Iperf)
+            .with_scale(0.5)
+            .with_seed(5);
+        let (trace, live) = record_run(&cfg, 64);
+        let outcome = ReplaySim::new(&trace, AccelConfig::default())
+            .unwrap()
+            .run();
+        assert!(outcome.coverage() > 0.5, "coverage {}", outcome.coverage());
+        let err = (outcome.report.total_cycles as f64 - live.total_cycles as f64).abs()
+            / live.total_cycles as f64;
+        assert!(err < 0.15, "cycle error {err}");
+        assert_eq!(outcome.report.total_instructions, live.total_instructions);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let (trace, _) = recorded();
+        let run = || {
+            ReplaySim::new(&trace, AccelConfig::with_strategy(RelearnStrategy::Eager))
+                .unwrap()
+                .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.report.total_cycles, b.report.total_cycles);
+        assert_eq!(a.report.intervals, b.report.intervals);
+        assert_eq!(a.stats.relearn_events(), b.stats.relearn_events());
+        assert_eq!(a.clusters_per_service, b.clusters_per_service);
+    }
+
+    #[test]
+    fn summaryless_trace_is_rejected() {
+        let (mut trace, _) = recorded();
+        trace.summary = None;
+        let err = ReplaySim::new(&trace, AccelConfig::default())
+            .err()
+            .expect("must fail");
+        assert_eq!(err.code, "OSPT013");
+    }
+
+    #[test]
+    fn non_detailed_trace_is_rejected() {
+        let (mut trace, _) = recorded();
+        let predicted = trace
+            .intervals()
+            .next()
+            .map(|r| IntervalRecord {
+                source: IntervalSource::Predicted,
+                ..*r
+            })
+            .expect("trace has intervals");
+        trace.events.push(TraceEvent::Predicted(predicted));
+        let err = ReplaySim::new(&trace, AccelConfig::default())
+            .err()
+            .expect("must fail");
+        assert_eq!(err.code, "OSPT015");
+    }
+}

@@ -1,0 +1,213 @@
+//! Structural verification of decoded traces (the `OSPT01x` range).
+//!
+//! Decoding ([`crate::TraceReader`]) already guarantees the envelope:
+//! magic, version, checksum, record syntax, known identifiers. The checks
+//! here are semantic — properties any honestly recorded run satisfies:
+//!
+//! * `OSPT010` — interval sequence numbers strictly increase;
+//! * `OSPT011` — an interval's service matches the invocation it follows;
+//! * `OSPT012` — no prediction for a service before at least one of its
+//!   intervals was simulated (a learning window must come first);
+//! * `OSPT013` — (warning) no summary record: the recording was cut off;
+//! * `OSPT014` — every invocation is closed by an interval record before
+//!   the next invocation begins.
+
+use std::collections::BTreeSet;
+
+use osprey_isa::ServiceId;
+use osprey_report::Diagnostic;
+
+use crate::event::TraceEvent;
+use crate::reader::Trace;
+
+/// Runs every structural check and returns all findings (empty = clean).
+pub fn verify_trace(trace: &Trace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut last_seq: Option<u64> = None;
+    let mut open_invocation: Option<(usize, ServiceId)> = None;
+    let mut simulated_services: BTreeSet<ServiceId> = BTreeSet::new();
+
+    for (idx, event) in trace.events.iter().enumerate() {
+        match event {
+            TraceEvent::Invocation { service, .. } => {
+                if let Some((at, open)) = open_invocation.take() {
+                    diags.push(Diagnostic::error(
+                        "OSPT014",
+                        format!("event[{at}]"),
+                        format!(
+                            "invocation of {} has no interval record before the next invocation",
+                            open.name()
+                        ),
+                    ));
+                }
+                open_invocation = Some((idx, *service));
+            }
+            TraceEvent::Simulated(r) | TraceEvent::Predicted(r) => {
+                if let Some(last) = last_seq {
+                    if r.seq <= last {
+                        diags.push(Diagnostic::error(
+                            "OSPT010",
+                            format!("event[{idx}]"),
+                            format!("interval seq {} does not increase past {last}", r.seq),
+                        ));
+                    }
+                }
+                last_seq = Some(r.seq);
+                match open_invocation.take() {
+                    Some((_, open)) if open != r.service => diags.push(Diagnostic::error(
+                        "OSPT011",
+                        format!("event[{idx}]"),
+                        format!(
+                            "interval service {} disagrees with invocation {}",
+                            r.service.name(),
+                            open.name()
+                        ),
+                    )),
+                    _ => {}
+                }
+                if matches!(event, TraceEvent::Simulated(_)) {
+                    simulated_services.insert(r.service);
+                } else if !simulated_services.contains(&r.service) {
+                    diags.push(Diagnostic::error(
+                        "OSPT012",
+                        format!("event[{idx}]"),
+                        format!(
+                            "{} predicted before any learning window simulated it",
+                            r.service.name()
+                        ),
+                    ));
+                }
+            }
+            TraceEvent::Decision {
+                service, predicted, ..
+            } => {
+                if *predicted && !simulated_services.contains(service) {
+                    diags.push(Diagnostic::error(
+                        "OSPT012",
+                        format!("event[{idx}]"),
+                        format!(
+                            "predict decision for {} before any learning window simulated it",
+                            service.name()
+                        ),
+                    ));
+                }
+            }
+            TraceEvent::Snapshot(_) => {}
+        }
+    }
+    if let Some((at, open)) = open_invocation {
+        diags.push(Diagnostic::error(
+            "OSPT014",
+            format!("event[{at}]"),
+            format!(
+                "invocation of {} has no interval record before end of trace",
+                open.name()
+            ),
+        ));
+    }
+    if trace.summary.is_none() {
+        diags.push(Diagnostic::warning(
+            "OSPT013",
+            "trace",
+            "no summary record: the recording did not run to completion",
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::record_run;
+    use osprey_sim::interval::IntervalSource;
+    use osprey_sim::{IntervalRecord, SimConfig};
+    use osprey_workloads::Benchmark;
+
+    fn recorded() -> Trace {
+        let cfg = SimConfig::new(Benchmark::Du).with_scale(0.02).with_seed(3);
+        record_run(&cfg, 64).0
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn honest_recordings_verify_clean() {
+        assert_eq!(verify_trace(&recorded()), vec![]);
+    }
+
+    #[test]
+    fn non_monotonic_seq_is_ospt010() {
+        let mut trace = recorded();
+        // Duplicate an early interval event at the end of the stream.
+        let dup = *trace.intervals().next().expect("has intervals");
+        // Close the stream's open structure legally first: append its
+        // invocation, then the stale interval.
+        trace.events.push(TraceEvent::Invocation {
+            service: dup.service,
+            instructions: dup.instructions,
+        });
+        trace.events.push(TraceEvent::Simulated(dup));
+        assert!(codes(&verify_trace(&trace)).contains(&"OSPT010"));
+    }
+
+    #[test]
+    fn mismatched_invocation_is_ospt011() {
+        let mut trace = recorded();
+        let mut wrong: Option<ServiceId> = None;
+        for event in &mut trace.events {
+            if let TraceEvent::Invocation { service, .. } = event {
+                wrong = Some(*service);
+                *service = if *service == ServiceId::SysRead {
+                    ServiceId::SysWrite
+                } else {
+                    ServiceId::SysRead
+                };
+                break;
+            }
+        }
+        assert!(wrong.is_some());
+        assert!(codes(&verify_trace(&trace)).contains(&"OSPT011"));
+    }
+
+    #[test]
+    fn prediction_before_learning_is_ospt012() {
+        let mut trace = recorded();
+        let sample = *trace.intervals().next().expect("has intervals");
+        let alien = IntervalRecord {
+            service: ServiceId::SysIpc, // du never invokes IPC
+            seq: 0,
+            source: IntervalSource::Predicted,
+            ..sample
+        };
+        trace.events.insert(0, TraceEvent::Predicted(alien));
+        trace.events.insert(
+            0,
+            TraceEvent::Invocation {
+                service: ServiceId::SysIpc,
+                instructions: alien.instructions,
+            },
+        );
+        assert!(codes(&verify_trace(&trace)).contains(&"OSPT012"));
+    }
+
+    #[test]
+    fn dangling_invocation_is_ospt014() {
+        let mut trace = recorded();
+        trace.events.push(TraceEvent::Invocation {
+            service: ServiceId::SysBrk,
+            instructions: 1,
+        });
+        assert!(codes(&verify_trace(&trace)).contains(&"OSPT014"));
+    }
+
+    #[test]
+    fn missing_summary_is_an_ospt013_warning() {
+        let mut trace = recorded();
+        trace.summary = None;
+        let diags = verify_trace(&trace);
+        assert!(codes(&diags).contains(&"OSPT013"));
+        assert!(diags.iter().all(|d| !d.is_error() || d.code != "OSPT013"));
+    }
+}

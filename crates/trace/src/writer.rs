@@ -1,0 +1,253 @@
+//! Streaming trace encoding.
+//!
+//! A [`TraceWriter`] encodes events incrementally into an in-memory
+//! buffer; [`TraceWriter::finish`] seals the stream with the terminator
+//! record and the SplitMix64 checksum. [`SharedSink`] adapts a writer to
+//! the simulator's [`TraceSink`] interface while keeping it recoverable:
+//!
+//! ```
+//! use osprey_sim::{FullSystemSim, SimConfig, DEFAULT_SNAPSHOT_EVERY};
+//! use osprey_trace::{SharedSink, TraceMeta, TraceReader, TraceSummary, TraceWriter};
+//! use osprey_workloads::Benchmark;
+//!
+//! let cfg = SimConfig::new(Benchmark::Du).with_scale(0.02).with_seed(3);
+//! let meta = TraceMeta::from_config(&cfg, DEFAULT_SNAPSHOT_EVERY);
+//! let mut sim = FullSystemSim::new(cfg);
+//! let sink = SharedSink::new(TraceWriter::new(&meta));
+//! sim.set_trace_sink(Box::new(sink.clone()));
+//! let report = sim.run_to_completion();
+//! drop(sim.take_trace_sink()); // release the simulator's handle
+//! let mut writer = sink.into_writer();
+//! writer.summary(&TraceSummary::from_report(&report));
+//! let bytes = writer.finish();
+//! let trace = TraceReader::from_bytes(&bytes).unwrap();
+//! assert_eq!(trace.intervals().count(), report.intervals.len());
+//! ```
+
+use std::cell::RefCell;
+use std::path::Path;
+use std::rc::Rc;
+
+use osprey_isa::ServiceId;
+use osprey_report::Diagnostic;
+use osprey_sim::{CounterSnapshot, IntervalRecord, TraceSink};
+
+use crate::codes;
+use crate::event::{TraceEvent, TraceMeta, TraceSummary};
+use crate::wire;
+
+/// Encodes a trace stream event by event.
+pub struct TraceWriter {
+    buf: Vec<u8>,
+    events: u64,
+}
+
+impl TraceWriter {
+    /// Starts a stream: magic, version, and the run metadata header.
+    pub fn new(meta: &TraceMeta) -> Self {
+        let mut buf = Vec::with_capacity(4 << 10);
+        buf.extend_from_slice(&wire::MAGIC);
+        wire::put_u16(&mut buf, wire::VERSION);
+        meta.encode(&mut buf);
+        Self { buf, events: 0 }
+    }
+
+    /// Appends an arbitrary event.
+    pub fn event(&mut self, event: &TraceEvent) {
+        event.encode(&mut self.buf);
+        self.events += 1;
+    }
+
+    /// Appends an invocation event.
+    pub fn invocation(&mut self, service: ServiceId, instructions: u64) {
+        self.event(&TraceEvent::Invocation {
+            service,
+            instructions,
+        });
+    }
+
+    /// Appends a simulated-interval event.
+    pub fn simulated(&mut self, record: &IntervalRecord) {
+        self.event(&TraceEvent::Simulated(*record));
+    }
+
+    /// Appends a predicted-interval event.
+    pub fn predicted(&mut self, record: &IntervalRecord) {
+        self.event(&TraceEvent::Predicted(*record));
+    }
+
+    /// Appends an accelerator-decision event.
+    pub fn decision(
+        &mut self,
+        service: ServiceId,
+        predicted: bool,
+        cluster: Option<u32>,
+        confidence: f64,
+    ) {
+        self.event(&TraceEvent::Decision {
+            service,
+            predicted,
+            cluster,
+            confidence,
+        });
+    }
+
+    /// Appends a counter-snapshot event.
+    pub fn snapshot(&mut self, snapshot: &CounterSnapshot) {
+        self.event(&TraceEvent::Snapshot(*snapshot));
+    }
+
+    /// Appends the end-of-run summary record.
+    pub fn summary(&mut self, summary: &TraceSummary) {
+        summary.encode(&mut self.buf);
+        self.events += 1;
+    }
+
+    /// Events written so far.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Seals the stream (terminator record + checksum) and returns the
+    /// encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        wire::put_u8(&mut self.buf, crate::event::TAG_END);
+        wire::put_u64(&mut self.buf, self.events);
+        let sum = wire::checksum(&self.buf);
+        wire::put_u64(&mut self.buf, sum);
+        self.buf
+    }
+
+    /// Seals the stream and writes it to `path` (parent directories are
+    /// created). I/O failures are `OSPT007` diagnostics.
+    pub fn write_to(self, path: &Path) -> Result<(), Diagnostic> {
+        let bytes = self.finish();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| codes::io(parent, &e))?;
+            }
+        }
+        std::fs::write(path, bytes).map_err(|e| codes::io(path, &e))
+    }
+}
+
+/// A cloneable [`TraceSink`] handle over a shared [`TraceWriter`].
+///
+/// The simulator owns its sink as a `Box<dyn TraceSink>`, which would
+/// strand the writer inside the box; sharing it through `Rc<RefCell<_>>`
+/// lets the recorder keep a handle, append run-level records (decisions,
+/// the summary), and recover the writer when the run ends. Single-thread
+/// only, like the simulator itself.
+#[derive(Clone)]
+pub struct SharedSink(Rc<RefCell<TraceWriter>>);
+
+impl SharedSink {
+    /// Wraps a writer for sharing.
+    pub fn new(writer: TraceWriter) -> Self {
+        Self(Rc::new(RefCell::new(writer)))
+    }
+
+    /// Runs `f` against the shared writer (e.g. to append decision
+    /// events from outside the simulator).
+    pub fn with<R>(&self, f: impl FnOnce(&mut TraceWriter) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+
+    /// Recovers the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics while other clones (e.g. the simulator's boxed sink) are
+    /// still alive — take the sink out of the simulator first.
+    pub fn into_writer(self) -> TraceWriter {
+        match Rc::try_unwrap(self.0) {
+            Ok(cell) => cell.into_inner(),
+            Err(_) => panic!("trace writer is still shared; drop the simulator's sink first"),
+        }
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn on_invocation(&mut self, service: ServiceId, instructions: u64) {
+        self.0.borrow_mut().invocation(service, instructions);
+    }
+
+    fn on_simulated(&mut self, record: &IntervalRecord) {
+        self.0.borrow_mut().simulated(record);
+    }
+
+    fn on_predicted(&mut self, record: &IntervalRecord) {
+        self.0.borrow_mut().predicted(record);
+    }
+
+    fn on_decision(
+        &mut self,
+        service: ServiceId,
+        predicted: bool,
+        cluster: Option<u32>,
+        confidence: f64,
+    ) {
+        self.0
+            .borrow_mut()
+            .decision(service, predicted, cluster, confidence);
+    }
+
+    fn on_snapshot(&mut self, snapshot: &CounterSnapshot) {
+        self.0.borrow_mut().snapshot(snapshot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osprey_sim::SimConfig;
+    use osprey_workloads::Benchmark;
+
+    fn meta() -> TraceMeta {
+        TraceMeta::from_config(&SimConfig::new(Benchmark::Du).with_scale(0.02), 64)
+    }
+
+    #[test]
+    fn finish_appends_end_record_and_checksum() {
+        let mut w = TraceWriter::new(&meta());
+        w.invocation(ServiceId::SysRead, 100);
+        assert_eq!(w.event_count(), 1);
+        let bytes = w.finish();
+        // Trailer: tag(1) + count(8) + checksum(8).
+        let trailer = &bytes[bytes.len() - 17..];
+        assert_eq!(trailer[0], crate::event::TAG_END);
+        assert_eq!(u64::from_le_bytes(trailer[1..9].try_into().unwrap()), 1);
+        let stored = u64::from_le_bytes(trailer[9..].try_into().unwrap());
+        assert_eq!(stored, wire::checksum(&bytes[..bytes.len() - 8]));
+    }
+
+    #[test]
+    fn identical_streams_encode_identically() {
+        let build = || {
+            let mut w = TraceWriter::new(&meta());
+            w.invocation(ServiceId::SysOpen, 420);
+            w.decision(ServiceId::SysOpen, false, None, 0.0);
+            w.finish()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn shared_sink_recovers_the_writer() {
+        let sink = SharedSink::new(TraceWriter::new(&meta()));
+        let mut boxed: Box<dyn TraceSink> = Box::new(sink.clone());
+        boxed.on_invocation(ServiceId::SysRead, 7);
+        drop(boxed);
+        sink.with(|w| w.decision(ServiceId::SysRead, false, None, 0.0));
+        let writer = sink.into_writer();
+        assert_eq!(writer.event_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "still shared")]
+    fn into_writer_panics_while_shared() {
+        let sink = SharedSink::new(TraceWriter::new(&meta()));
+        let _other = sink.clone();
+        sink.into_writer();
+    }
+}

@@ -4,10 +4,13 @@
 
 pub use osprey_core as core;
 pub use osprey_cpu as cpu;
+pub use osprey_exec as exec;
 pub use osprey_isa as isa;
 pub use osprey_mem as mem;
 pub use osprey_os as os;
 pub use osprey_report as report;
 pub use osprey_sim as sim;
 pub use osprey_stats as stats;
+pub use osprey_trace as trace;
+pub use osprey_verify as verify;
 pub use osprey_workloads as workloads;

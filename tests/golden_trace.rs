@@ -1,0 +1,80 @@
+//! Golden-trace regression test: pins the on-disk `OSPT` v1 format.
+//!
+//! `tests/golden/du_seed3.ospt` is a committed recording of `du` at
+//! scale 0.02, seed 3, snapshot cadence 64. The tests assert that
+//! today's build still decodes it, that structural verification stays
+//! clean, and that re-recording the same configuration reproduces the
+//! fixture byte for byte — any format or simulator drift fails loudly
+//! here instead of silently invalidating archived traces.
+//!
+//! Regenerate (only after an *intentional* format bump, alongside a
+//! `wire::VERSION` increment) with:
+//!
+//! ```text
+//! OSPREY_REGEN_GOLDEN=1 cargo test --test golden_trace
+//! ```
+
+use std::path::PathBuf;
+
+use osprey::sim::SimConfig;
+use osprey::trace::{record_bytes, verify_trace, TraceReader};
+use osprey::workloads::Benchmark;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/du_seed3.ospt")
+}
+
+fn golden_config() -> SimConfig {
+    SimConfig::new(Benchmark::Du).with_scale(0.02).with_seed(3)
+}
+
+const SNAPSHOT_EVERY: u64 = 64;
+
+fn golden_bytes() -> Vec<u8> {
+    std::fs::read(golden_path()).expect(
+        "tests/golden/du_seed3.ospt is missing — regenerate with \
+         OSPREY_REGEN_GOLDEN=1 cargo test --test golden_trace",
+    )
+}
+
+/// Writes the fixture when `OSPREY_REGEN_GOLDEN` is set; a no-op (and a
+/// pass) otherwise, so the regeneration recipe lives next to the checks.
+#[test]
+fn regenerate_golden_fixture_when_asked() {
+    if std::env::var("OSPREY_REGEN_GOLDEN").is_err() {
+        return;
+    }
+    let (bytes, _) = record_bytes(&golden_config(), SNAPSHOT_EVERY);
+    let path = golden_path();
+    std::fs::create_dir_all(path.parent().expect("fixture has a parent dir"))
+        .expect("create tests/golden");
+    std::fs::write(&path, &bytes).expect("write golden fixture");
+}
+
+#[test]
+fn golden_fixture_decodes_and_verifies_clean() {
+    let trace = TraceReader::from_bytes(&golden_bytes()).expect("golden fixture decodes");
+    assert_eq!(trace.meta.benchmark, Benchmark::Du);
+    assert_eq!(trace.meta.seed, 3);
+    assert_eq!(trace.meta.snapshot_every, SNAPSHOT_EVERY);
+    assert!(trace.is_detailed());
+    assert!(trace.summary.is_some(), "fixture is a completed recording");
+    assert!(trace.intervals().count() > 0);
+    let errors: Vec<_> = verify_trace(&trace)
+        .into_iter()
+        .filter(|d| d.is_error())
+        .collect();
+    assert!(errors.is_empty(), "{errors:?}");
+}
+
+#[test]
+fn todays_recorder_reproduces_the_golden_bytes() {
+    let (bytes, _) = record_bytes(&golden_config(), SNAPSHOT_EVERY);
+    let golden = golden_bytes();
+    assert_eq!(
+        bytes, golden,
+        "re-recording du/scale 0.02/seed 3 no longer matches the \
+         committed fixture: either revert the behavioral change or bump \
+         wire::VERSION and regenerate the fixture"
+    );
+}

@@ -1,0 +1,125 @@
+//! Workspace-level roundtrip properties for the `osprey-trace` format.
+//!
+//! Every benchmark in the suite must record to a byte stream that
+//! decodes back to exactly the live run's intervals, passes structural
+//! verification, and replays to the live instruction totals. Corrupted
+//! streams — truncation anywhere, a bumped version byte, a flipped
+//! payload byte — must fail with typed `OSPT0xx` diagnostics, never a
+//! panic and never silently-wrong data.
+
+use osprey::core::accel::AccelConfig;
+use osprey::sim::SimConfig;
+use osprey::trace::{record_bytes, verify_trace, ReplaySim, TraceReader};
+use osprey::workloads::Benchmark;
+
+/// Small scale keeps the full 9-benchmark sweep fast while still
+/// producing multi-interval traces for every workload.
+const SCALE: f64 = 0.02;
+const SEED: u64 = 7;
+const SNAPSHOT_EVERY: u64 = 64;
+
+fn cfg(benchmark: Benchmark) -> SimConfig {
+    SimConfig::new(benchmark).with_scale(SCALE).with_seed(SEED)
+}
+
+#[test]
+fn every_benchmark_roundtrips_through_the_wire_format() {
+    for benchmark in Benchmark::ALL {
+        let name = benchmark.name();
+        let (bytes, live) = record_bytes(&cfg(benchmark), SNAPSHOT_EVERY);
+        let trace = TraceReader::from_bytes(&bytes)
+            .unwrap_or_else(|d| panic!("{name}: just-recorded trace must decode: {d:?}"));
+
+        // The decoded trace mirrors the live run exactly.
+        assert_eq!(trace.meta.benchmark, benchmark, "{name}");
+        assert_eq!(trace.meta.seed, SEED, "{name}");
+        assert_eq!(trace.meta.snapshot_every, SNAPSHOT_EVERY, "{name}");
+        assert!(trace.is_detailed(), "{name}: recordings are detailed");
+        let summary = trace
+            .summary
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: completed recording has a summary"));
+        assert_eq!(summary.total_cycles, live.total_cycles, "{name}");
+        assert_eq!(
+            summary.total_instructions, live.total_instructions,
+            "{name}"
+        );
+        assert_eq!(trace.intervals().count(), live.intervals.len(), "{name}");
+        for (recorded, lived) in trace.intervals().zip(&live.intervals) {
+            assert_eq!(recorded, lived, "{name}");
+        }
+
+        // Structural verification finds nothing wrong with an honest
+        // recording.
+        let errors: Vec<_> = verify_trace(&trace)
+            .into_iter()
+            .filter(|d| d.is_error())
+            .collect();
+        assert!(errors.is_empty(), "{name}: {errors:?}");
+
+        // Replay reconstructs the live run's totals offline.
+        let outcome = ReplaySim::new(&trace, AccelConfig::default())
+            .unwrap_or_else(|d| panic!("{name}: detailed trace must replay: {d:?}"))
+            .run();
+        assert_eq!(
+            outcome.report.total_instructions, live.total_instructions,
+            "{name}: replay must preserve the instruction stream"
+        );
+
+        // Recording the same configuration again is byte-identical.
+        let (again, _) = record_bytes(&cfg(benchmark), SNAPSHOT_EVERY);
+        assert_eq!(bytes, again, "{name}: recording must be deterministic");
+    }
+}
+
+#[test]
+fn truncated_streams_fail_with_typed_diagnostics() {
+    let (bytes, _) = record_bytes(&cfg(Benchmark::Du), SNAPSHOT_EVERY);
+    // Cut the stream at a spread of prefix lengths, including the empty
+    // stream, mid-header, mid-payload, and one-byte-short.
+    let cuts = [
+        0,
+        1,
+        3,
+        5,
+        13,
+        bytes.len() / 3,
+        bytes.len() / 2,
+        bytes.len() - 1,
+    ];
+    for keep in cuts {
+        let err = TraceReader::from_bytes(&bytes[..keep])
+            .err()
+            .unwrap_or_else(|| panic!("keep={keep}: truncated stream must not decode"));
+        assert!(
+            matches!(err.code, "OSPT001" | "OSPT002" | "OSPT003"),
+            "keep={keep} gave {} ({})",
+            err.code,
+            err.message
+        );
+    }
+}
+
+#[test]
+fn bumped_version_byte_fails_with_version_skew() {
+    let (bytes, _) = record_bytes(&cfg(Benchmark::Du), SNAPSHOT_EVERY);
+    // The u16 version lives at offsets 4..6, right after the magic.
+    for offset in [4usize, 5] {
+        let mut skewed = bytes.clone();
+        skewed[offset] = skewed[offset].wrapping_add(1);
+        let err = TraceReader::from_bytes(&skewed).expect_err("version skew must not decode");
+        assert_eq!(err.code, "OSPT004", "offset {offset}: {}", err.message);
+    }
+}
+
+#[test]
+fn flipped_payload_bytes_fail_the_checksum() {
+    let (bytes, _) = record_bytes(&cfg(Benchmark::Du), SNAPSHOT_EVERY);
+    for fraction in [3, 5, 7] {
+        let mut corrupt = bytes.clone();
+        let at = corrupt.len() * (fraction - 1) / fraction;
+        corrupt[at] ^= 0x10;
+        let err = TraceReader::from_bytes(&corrupt).expect_err("corrupted payload must not decode");
+        assert_eq!(err.code, "OSPT003", "byte {at}: {}", err.message);
+    }
+}
