@@ -37,6 +37,14 @@ awk 'BEGIN { b = 0; k = 0 }
      END { exit (b != 0 || k != 0) }' results/BENCH_sweep.json
 echo "results/BENCH_sweep.json written and well-formed."
 
+echo "=== hotpath smoke: fused-path equivalence + perf gate ==="
+# `--check` re-proves fused/unfused equivalence on every stream, schema-
+# validates the committed results/BENCH_hotpath.json, and fails on a
+# >15% geomean-speedup regression against it. Stream construction fans
+# out across $OSPREY_JOBS workers; the timed runs stay serial.
+cargo build --release -p osprey-bench --bin hotpath
+./target/release/hotpath --check
+
 echo "=== trace smoke: record -> replay -> verify ==="
 TRACE=results/traces/ci_smoke.ospt
 mkdir -p results/traces

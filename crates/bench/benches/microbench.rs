@@ -13,7 +13,7 @@ use std::time::{Duration, Instant};
 
 use osprey_core::accel::{AccelConfig, AcceleratedSim};
 use osprey_core::Plt;
-use osprey_cpu::{Core, CpuConfig, OooCore};
+use osprey_cpu::{Core, CpuConfig, OooCore, Unfused};
 use osprey_exec::{run_jobs, Job};
 use osprey_isa::{BlockSpec, Privilege};
 use osprey_mem::{Hierarchy, HierarchyConfig};
@@ -77,10 +77,16 @@ fn bench_ooo_step(filter: &str) {
         }
         black_box(core.cycles());
     });
-    // The block-batched hot path: one virtual call per block instead of
-    // one per instruction.
+    // The fused generate-and-step hot path (DESIGN.md §10).
     bench(filter, "ooo_step_block_10k_instructions", || {
         let mut core = OooCore::new(CpuConfig::pentium4());
+        let mut mem = Hierarchy::new(HierarchyConfig::default());
+        core.step_block(&spec, 1, &mut mem, Privilege::User);
+        black_box(core.cycles());
+    });
+    // The pre-fusion reference: trait-default generate + step loop.
+    bench(filter, "ooo_step_block_unfused_10k", || {
+        let mut core = Unfused(OooCore::new(CpuConfig::pentium4()));
         let mut mem = Hierarchy::new(HierarchyConfig::default());
         core.step_block(&spec, 1, &mut mem, Privilege::User);
         black_box(core.cycles());
@@ -91,6 +97,9 @@ fn bench_block_generation(filter: &str) {
     let spec = BlockSpec::new(0x40_0000, 10_000);
     bench(filter, "blockgen_10k_instructions", || {
         black_box(spec.generate(black_box(7)).count());
+    });
+    bench(filter, "rungen_10k_instructions", || {
+        black_box(spec.runs(black_box(7)).map(|r| r.len()).sum::<u64>());
     });
 }
 

@@ -1,0 +1,384 @@
+//! `hotpath` — the standing hot-path performance gate (DESIGN.md §10).
+//!
+//! Measures detailed-mode (ooo-cache) and emulation-mode instruction
+//! throughput for every benchmark's real block stream — the exact
+//! `(BlockSpec, seed, privilege)` sequence `FullSystemSim` executes —
+//! through the fused `Core::step_block` hot path and through the
+//! unfused per-instruction reference ([`Unfused`]), and records the
+//! per-benchmark throughputs plus geomean speedups in
+//! `results/BENCH_hotpath.json`.
+//!
+//! Every invocation also re-proves the optimization invisible: fused
+//! and unfused runs must agree on cycles, retired counters, and every
+//! cache statistic for every stream, and one full-system run per mode
+//! must produce an identical `RunReport` under
+//! [`SimConfig::with_reference_core`].
+//!
+//! Usage:
+//!
+//! ```text
+//! hotpath [scale]      measure and rewrite results/BENCH_hotpath.json
+//! hotpath --check      measure and exit non-zero if the committed
+//!                      baseline is malformed or the measured geomean
+//!                      speedup regressed by more than 15%
+//! ```
+//!
+//! `OSPREY_SCALE` scales the per-benchmark instruction budget;
+//! `OSPREY_HOTPATH_REBASE=1` with `--check` rewrites the baseline
+//! instead of failing. Stream construction fans out through the
+//! experiment engine (`$OSPREY_JOBS` workers); the timed runs are
+//! always serial so jobs never distort each other's clocks.
+
+use std::time::Instant;
+
+use osprey_bench::{fmt2, sweep_rows, SEED};
+use osprey_cpu::{Core, CpuConfig, EmulationCore, OooCore, Unfused};
+use osprey_isa::{BlockSpec, Privilege};
+use osprey_mem::{Hierarchy, HierarchyConfig};
+use osprey_os::Kernel;
+use osprey_sim::{FullSystemSim, RunReport, SimConfig};
+use osprey_workloads::{Benchmark, WorkItem};
+
+/// Baseline instruction budget per benchmark stream (scaled by
+/// `OSPREY_SCALE` / argv).
+const BUDGET: u64 = 400_000;
+
+/// Timed repetitions per (benchmark, mode, path); the minimum wall time
+/// is kept, which is robust against host load spikes.
+const REPS: u32 = 3;
+
+/// Relative geomean-speedup loss that fails `--check`.
+const TOLERANCE: f64 = 0.15;
+
+/// Where the committed baseline lives.
+const BASELINE: &str = "results/BENCH_hotpath.json";
+
+/// One benchmark's block stream: what the machine would feed the core.
+struct Stream {
+    name: &'static str,
+    blocks: Vec<(BlockSpec, u64, Privilege)>,
+    instructions: u64,
+}
+
+/// Expands `benchmark` into the `(spec, seed, privilege)` stream the
+/// simulator executes — user compute blocks seeded exactly like
+/// `FullSystemSim`, kernel service blocks via `Kernel::handle` — capped
+/// at `budget` instructions.
+fn stream_for(benchmark: Benchmark, budget: u64) -> Stream {
+    let mut workload = benchmark.instantiate_scaled(SEED, 0.3);
+    let mut kernel = Kernel::new(SEED);
+    let mut blocks = Vec::new();
+    let mut user_blocks = 0u64;
+    let mut now = 0u64;
+    let mut instructions = 0u64;
+    while instructions < budget {
+        let Some(item) = workload.next_item() else {
+            break;
+        };
+        match item {
+            WorkItem::Compute(spec) => {
+                let s = SEED ^ user_blocks.wrapping_mul(0x517c_c1b7_2722_0a95);
+                instructions += spec.instr_count;
+                blocks.push((spec, s, Privilege::User));
+                user_blocks += 1;
+            }
+            WorkItem::Call(req) => {
+                let inv = kernel.handle(&req, now);
+                instructions += inv.instr_count();
+                for (block, s) in inv.block_seeds() {
+                    blocks.push((*block, s, Privilege::Kernel));
+                }
+            }
+        }
+        now += 1_000;
+    }
+    assert!(
+        !blocks.is_empty(),
+        "{} produced no blocks",
+        benchmark.name()
+    );
+    Stream {
+        name: benchmark.name(),
+        blocks,
+        instructions,
+    }
+}
+
+/// Runs the whole stream through a fresh core + hierarchy and returns
+/// the end state for equivalence checking.
+fn run_stream<C: Core>(mut core: C, stream: &Stream) -> (C, Hierarchy) {
+    let mut mem = Hierarchy::new(HierarchyConfig::pentium4(osprey_bench::L2_DEFAULT));
+    for (spec, seed, owner) in &stream.blocks {
+        core.step_block(spec, *seed, &mut mem, *owner);
+    }
+    (core, mem)
+}
+
+/// Best-of-[`REPS`] wall seconds for one (stream, core) combination.
+fn time_stream<C: Core>(make: impl Fn() -> C, stream: &Stream) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        let (core, _) = run_stream(make(), stream);
+        let secs = started.elapsed().as_secs_f64();
+        assert!(core.counters().instructions > 0);
+        best = best.min(secs);
+    }
+    best
+}
+
+/// Throughput pair for one execution mode over one stream.
+struct ModeRow {
+    fused_mips: f64,
+    unfused_mips: f64,
+    speedup: f64,
+}
+
+/// Measures fused vs unfused over `stream`, first asserting the two
+/// paths are observationally identical on it.
+fn measure_mode<C: Core>(make: impl Fn() -> C + Copy, stream: &Stream) -> ModeRow {
+    let (fused, mem_fused) = run_stream(make(), stream);
+    let (unfused, mem_unfused) = run_stream(Unfused(make()), stream);
+    assert_eq!(
+        fused.cycles(),
+        unfused.cycles(),
+        "{}: fused/unfused cycles diverge",
+        stream.name
+    );
+    assert_eq!(
+        fused.counters(),
+        unfused.counters(),
+        "{}: fused/unfused counters diverge",
+        stream.name
+    );
+    assert_eq!(
+        mem_fused.snapshot(),
+        mem_unfused.snapshot(),
+        "{}: fused/unfused cache stats diverge",
+        stream.name
+    );
+    let fused_secs = time_stream(make, stream);
+    let unfused_secs = time_stream(move || Unfused(make()), stream);
+    let mips = |secs: f64| stream.instructions as f64 / secs / 1e6;
+    ModeRow {
+        fused_mips: mips(fused_secs),
+        unfused_mips: mips(unfused_secs),
+        speedup: unfused_secs / fused_secs,
+    }
+}
+
+/// One benchmark's measured row.
+struct Row {
+    name: &'static str,
+    instructions: u64,
+    detailed: ModeRow,
+    emulation: ModeRow,
+}
+
+/// The deterministic slice of a [`RunReport`] (everything but the wall
+/// clock), for fused-vs-reference identity assertions.
+fn report_key(r: &RunReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.total_instructions,
+        r.user_instructions,
+        r.os_instructions,
+        r.total_cycles,
+        r.caches,
+        r.measured_caches,
+        r.intervals.clone(),
+    )
+}
+
+/// Full-system identity: a detailed run on the fused core and on the
+/// unfused reference core must produce the same `RunReport`.
+fn assert_full_system_identity() {
+    let cfg = SimConfig::new(Benchmark::Du).with_seed(3).with_scale(0.05);
+    let fused = FullSystemSim::new(cfg.clone()).run();
+    let reference = FullSystemSim::new(cfg.with_reference_core()).run();
+    assert_eq!(
+        report_key(&fused),
+        report_key(&reference),
+        "full-system RunReport diverges between fused and reference cores"
+    );
+}
+
+/// Geometric mean of the rows' speedups under `pick`.
+fn geomean(rows: &[Row], pick: impl Fn(&Row) -> f64) -> f64 {
+    let n = rows.len() as f64;
+    (rows.iter().map(|r| pick(r).ln()).sum::<f64>() / n).exp()
+}
+
+/// Renders the results document (schema `osprey-hotpath-v1`).
+fn to_json(rows: &[Row], budget: u64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"osprey-hotpath-v1\",\n");
+    out.push_str(&format!("  \"budget_instructions\": {budget},\n"));
+    out.push_str(&format!("  \"reps\": {REPS},\n"));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"instructions\": {}, \
+             \"detailed_fused_mips\": {}, \"detailed_unfused_mips\": {}, \
+             \"detailed_speedup\": {}, \
+             \"emulation_fused_mips\": {}, \"emulation_unfused_mips\": {}, \
+             \"emulation_speedup\": {} }}{sep}\n",
+            r.name,
+            r.instructions,
+            fmt2(r.detailed.fused_mips),
+            fmt2(r.detailed.unfused_mips),
+            fmt2(r.detailed.speedup),
+            fmt2(r.emulation.fused_mips),
+            fmt2(r.emulation.unfused_mips),
+            fmt2(r.emulation.speedup),
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"geomean_detailed_speedup\": {},\n",
+        fmt2(geomean(rows, |r| r.detailed.speedup))
+    ));
+    out.push_str(&format!(
+        "  \"geomean_emulation_speedup\": {}\n",
+        fmt2(geomean(rows, |r| r.emulation.speedup))
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the first number following `"key":` in a JSON document
+/// produced by [`to_json`] (flat keys, no nesting tricks).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Validates the committed baseline's schema, returning its geomean
+/// detailed speedup.
+fn validate_baseline(doc: &str) -> Result<f64, String> {
+    if !doc.contains("\"schema\": \"osprey-hotpath-v1\"") {
+        return Err("missing or wrong \"schema\" (want osprey-hotpath-v1)".into());
+    }
+    let benchmarks = doc.matches("\"name\":").count();
+    if benchmarks != Benchmark::ALL.len() {
+        return Err(format!(
+            "expected {} benchmark rows, found {benchmarks}",
+            Benchmark::ALL.len()
+        ));
+    }
+    for key in [
+        "budget_instructions",
+        "detailed_fused_mips",
+        "detailed_unfused_mips",
+        "detailed_speedup",
+        "emulation_fused_mips",
+        "emulation_unfused_mips",
+        "emulation_speedup",
+        "geomean_emulation_speedup",
+    ] {
+        if !doc.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing \"{key}\""));
+        }
+    }
+    json_number(doc, "geomean_detailed_speedup")
+        .ok_or_else(|| "missing \"geomean_detailed_speedup\"".into())
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let scale = if check {
+        0.25
+    } else {
+        osprey_bench::scale_from_args()
+    };
+    let budget = ((BUDGET as f64 * scale) as u64).max(20_000);
+
+    assert_full_system_identity();
+
+    // Stream construction (workload instantiation + kernel expansion) is
+    // the parallel-safe part; fan it out across $OSPREY_JOBS workers.
+    let streams = sweep_rows("hotpath", &Benchmark::ALL, move |b| stream_for(b, budget));
+
+    // Timed runs stay serial: parallel timing jobs would distort each
+    // other's wall clocks.
+    let rows: Vec<Row> = streams
+        .iter()
+        .map(|s| Row {
+            name: s.name,
+            instructions: s.instructions,
+            detailed: measure_mode(|| OooCore::new(CpuConfig::pentium4()), s),
+            emulation: measure_mode(EmulationCore::new, s),
+        })
+        .collect();
+
+    println!(
+        "{:<10} {:>6} {:>10} {:>10} {:>8}   {:>10} {:>10} {:>8}",
+        "benchmark", "kinstr", "det-fused", "det-ref", "speedup", "emu-fused", "emu-ref", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>6} {:>9}M {:>9}M {:>7}x   {:>9}M {:>9}M {:>7}x",
+            r.name,
+            r.instructions / 1000,
+            fmt2(r.detailed.fused_mips),
+            fmt2(r.detailed.unfused_mips),
+            fmt2(r.detailed.speedup),
+            fmt2(r.emulation.fused_mips),
+            fmt2(r.emulation.unfused_mips),
+            fmt2(r.emulation.speedup),
+        );
+    }
+    let det = geomean(&rows, |r| r.detailed.speedup);
+    let emu = geomean(&rows, |r| r.emulation.speedup);
+    println!(
+        "geomean    detailed {}x   emulation {}x",
+        fmt2(det),
+        fmt2(emu)
+    );
+
+    let doc = to_json(&rows, budget);
+    let rebase = std::env::var("OSPREY_HOTPATH_REBASE").is_ok_and(|v| v == "1");
+    if !check || rebase {
+        std::fs::create_dir_all("results").expect("create results/");
+        std::fs::write(BASELINE, &doc).expect("write baseline");
+        eprintln!("[hotpath] wrote {BASELINE}");
+        return;
+    }
+
+    // --check: schema-validate the committed baseline, then gate on the
+    // measured fused/unfused speedup (a machine-relative ratio, so the
+    // gate is portable across hosts, unlike raw instructions/sec).
+    let committed = std::fs::read_to_string(BASELINE)
+        .unwrap_or_else(|e| panic!("{BASELINE} unreadable ({e}); run `hotpath` to create it"));
+    let baseline = match validate_baseline(&committed) {
+        Ok(v) => v,
+        Err(why) => {
+            eprintln!("[hotpath] FAIL: {BASELINE} schema invalid: {why}");
+            std::process::exit(1);
+        }
+    };
+    let floor = baseline * (1.0 - TOLERANCE);
+    if det < floor {
+        eprintln!(
+            "[hotpath] FAIL: geomean detailed speedup {} is more than {}% below \
+             the committed baseline {} (floor {})",
+            fmt2(det),
+            (TOLERANCE * 100.0) as u32,
+            fmt2(baseline),
+            fmt2(floor)
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[hotpath] OK: geomean detailed speedup {}x (baseline {}x, floor {}x)",
+        fmt2(det),
+        fmt2(baseline),
+        fmt2(floor)
+    );
+}

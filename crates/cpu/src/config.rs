@@ -57,11 +57,16 @@ impl CpuConfig {
     }
 
     /// Validates widths and capacities.
+    ///
+    /// The ROB must also cover the out-of-order core's maximum
+    /// dependence distance (6 instructions), so ring indices computed
+    /// from it wrap at most once.
     pub fn is_valid(&self) -> bool {
         self.fetch_width > 0
             && self.issue_width > 0
             && self.retire_width > 0
             && self.rob_size >= self.issue_width
+            && self.rob_size > 6
     }
 }
 
@@ -96,6 +101,9 @@ mod tests {
         assert!(!c.is_valid());
         let mut c = CpuConfig::pentium4();
         c.rob_size = 2;
+        assert!(!c.is_valid());
+        let mut c = CpuConfig::pentium4();
+        c.rob_size = 6; // cannot cover the maximum dependence distance
         assert!(!c.is_valid());
     }
 }

@@ -50,14 +50,18 @@ impl Core for EmulationCore {
         &mut self,
         spec: &osprey_isa::BlockSpec,
         seed: u64,
-        mem: &mut Hierarchy,
-        owner: Privilege,
+        _mem: &mut Hierarchy,
+        _owner: Privilege,
     ) {
-        // Monomorphized override: `self.step` dispatches statically here,
-        // so the per-instruction loop carries no virtual calls.
-        for instr in spec.generate(seed) {
-            self.step(&instr, mem, owner);
-        }
+        // Fused hot path: emulation only observes per-class totals, so
+        // the whole block collapses into `BlockSpec::class_totals` — the
+        // draw-order-identical bulk counting loop that never builds an
+        // instruction, a run, or a data address.
+        let t = spec.class_totals(seed);
+        self.counters.instructions += t.instructions;
+        self.counters.loads += t.loads;
+        self.counters.stores += t.stores;
+        self.counters.branches += t.branches;
     }
 
     fn step(&mut self, instr: &Instruction, _mem: &mut Hierarchy, _owner: Privilege) {

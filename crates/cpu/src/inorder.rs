@@ -43,6 +43,33 @@ impl InOrderCore {
     }
 }
 
+/// Charges the fetch stalls of `n` consecutive instructions starting at
+/// `pc`, walking whole I-lines at a time (each line crossing is checked
+/// once instead of once per instruction).
+#[inline]
+fn advance_fetch(
+    cycles: &mut u64,
+    last_line: &mut u64,
+    mem: &mut Hierarchy,
+    pc: u64,
+    n: u64,
+    owner: Privilege,
+) {
+    let mut k = 0u64;
+    let mut p = pc;
+    while k < n {
+        let line = p >> 6;
+        if line != *last_line {
+            *last_line = line;
+            *cycles += mem.fetch(p, owner) - 1;
+        }
+        // Instructions from `p` to the end of its 64 B line.
+        let step = ((67 - (p & 63)) / 4).min(n - k);
+        k += step;
+        p += 4 * step;
+    }
+}
+
 impl Core for InOrderCore {
     fn step_block(
         &mut self,
@@ -51,11 +78,89 @@ impl Core for InOrderCore {
         mem: &mut Hierarchy,
         owner: Privilege,
     ) {
-        // Monomorphized override: `self.step` dispatches statically here,
-        // so the per-instruction loop carries no virtual calls.
-        for instr in spec.generate(seed) {
-            self.step(&instr, mem, owner);
+        // Fused hot path over the run-batched generator: identical
+        // cycles, counters, and cache traffic to stepping every
+        // instruction through `self.step`, with per-run bookkeeping.
+        let use_caches = self.cfg.use_caches;
+        let nocache_lat = self.cfg.nocache_mem_latency;
+        let penalty = self.cfg.mispredict_penalty;
+        let branch_lat = fu::latency(InstrClass::Branch);
+        let mut cycles = self.cycles;
+        let mut last_line = self.last_fetch_line;
+        let mut c = self.counters;
+
+        let mut runs = spec.runs(seed);
+        while let Some(run) = runs.next_run() {
+            match run {
+                osprey_isa::InstrRun::Simple { pc, class, n } => {
+                    c.instructions += n;
+                    cycles += n * fu::latency(class);
+                    if use_caches {
+                        advance_fetch(&mut cycles, &mut last_line, mem, pc, n, owner);
+                    } else {
+                        last_line = (pc + 4 * (n - 1)) >> 6;
+                    }
+                }
+                osprey_isa::InstrRun::Mem {
+                    pc,
+                    store,
+                    base,
+                    stride,
+                    n,
+                } => {
+                    c.instructions += n;
+                    if store {
+                        c.stores += n;
+                    } else {
+                        c.loads += n;
+                    }
+                    if !use_caches {
+                        cycles += if store { n } else { n * nocache_lat };
+                        last_line = (pc + 4 * (n - 1)) >> 6;
+                    } else {
+                        // Per I-line segment: the crossing check once, then
+                        // the segment's data accesses batched (the relative
+                        // order of every L2-touching event is preserved —
+                        // the batched within-line repeats are L1D-only).
+                        let mut k = 0u64;
+                        while k < n {
+                            let p = pc + 4 * k;
+                            let line = p >> 6;
+                            if line != last_line {
+                                last_line = line;
+                                cycles += mem.fetch(p, owner) - 1;
+                            }
+                            let m = ((67 - (p & 63)) / 4).min(n - k);
+                            let lat_sum =
+                                mem.data_access_run(base + stride * k, stride, m, store, owner);
+                            cycles += if store { m } else { lat_sum };
+                            k += m;
+                        }
+                    }
+                }
+                osprey_isa::InstrRun::Branch { pc, taken, .. } => {
+                    let line = pc >> 6;
+                    if line != last_line {
+                        last_line = line;
+                        if use_caches {
+                            cycles += mem.fetch(pc, owner) - 1;
+                        }
+                    }
+                    cycles += branch_lat;
+                    c.branches += 1;
+                    c.instructions += 1;
+                    let predicted = self.bp.predict_and_update(pc, taken);
+                    if predicted != taken {
+                        c.mispredicts += 1;
+                        cycles += penalty;
+                    }
+                }
+            }
         }
+
+        self.cycles = cycles;
+        self.last_fetch_line = last_line;
+        self.counters = c;
     }
 
     fn step(&mut self, instr: &Instruction, mem: &mut Hierarchy, owner: Privilege) {

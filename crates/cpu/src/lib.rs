@@ -89,3 +89,34 @@ pub trait Core {
     /// Resets pipeline state (not counters or caches), e.g. between runs.
     fn reset_pipeline(&mut self);
 }
+
+/// Forces the wrapped core down the trait's default per-instruction
+/// [`Core::step_block`] (generate an [`Instruction`], step it, repeat).
+///
+/// The fused `step_block` overrides promise bit-identical cycles,
+/// counters, and cache traffic to this wrapper; the equivalence tests
+/// and the `hotpath` benchmark's before/after comparison both use it as
+/// the reference path.
+#[derive(Debug, Clone)]
+pub struct Unfused<C: Core>(pub C);
+
+impl<C: Core> Core for Unfused<C> {
+    // `step_block` deliberately NOT overridden: the default loop is the
+    // reference this wrapper exists to preserve.
+
+    fn step(&mut self, instr: &Instruction, mem: &mut Hierarchy, owner: Privilege) {
+        self.0.step(instr, mem, owner);
+    }
+
+    fn cycles(&self) -> u64 {
+        self.0.cycles()
+    }
+
+    fn counters(&self) -> &CpuCounters {
+        self.0.counters()
+    }
+
+    fn reset_pipeline(&mut self) {
+        self.0.reset_pipeline();
+    }
+}

@@ -57,6 +57,88 @@ impl BandwidthCursor {
         self.used += 1;
         self.cycle
     }
+
+    /// Schedules `n` consecutive slots in closed form, exactly equivalent
+    /// to one `schedule(earliest)` call followed by `n - 1` calls with
+    /// any bound at or below the first slot's cycle (once the first slot
+    /// lands, the cursor never jumps again, so the remaining slots are
+    /// pure bandwidth: slot `k` lands `(used₁ - 1 + k) / width` cycles
+    /// after the first).
+    ///
+    /// Returns the per-slot cycles as a [`RunSchedule`]; the cursor ends
+    /// in the same state the per-call loop would leave it in.
+    fn schedule_run(&mut self, earliest: u64, n: u64) -> RunSchedule {
+        debug_assert!(n >= 1);
+        let first = self.schedule(earliest);
+        let sched = RunSchedule {
+            first,
+            used: self.used,
+            width: self.width,
+        };
+        if n > 1 {
+            let total = self.used as u64 - 1 + (n - 1);
+            self.cycle = first + total / self.width as u64;
+            self.used = (total % self.width as u64) as u32 + 1;
+        }
+        sched
+    }
+}
+
+/// Closed-form result of [`BandwidthCursor::schedule_run`]: the cycles
+/// of `n` back-to-back slots, as a base plus a division instead of `n`
+/// stateful cursor calls.
+#[derive(Debug, Clone, Copy)]
+struct RunSchedule {
+    first: u64,
+    used: u32,
+    width: u32,
+}
+
+impl RunSchedule {
+    /// Cycle of slot `k` (0-based; `slot(0)` is the first slot's cycle).
+    /// The closed-form reference [`SlotIter`] is checked against; the
+    /// hot loops use the iterator.
+    #[cfg(test)]
+    fn slot(&self, k: u64) -> u64 {
+        self.first + (self.used as u64 - 1 + k) / self.width as u64
+    }
+
+    /// In-order traversal of the slots. Equivalent to calling
+    /// [`RunSchedule::slot`] with `k = 0, 1, 2, ...` but carries the
+    /// cycle incrementally, so the per-slot cost is a decrement and a
+    /// compare instead of a division by the (runtime) fetch width.
+    #[inline]
+    fn slots(&self) -> SlotIter {
+        SlotIter {
+            cycle: self.first,
+            // Slots left in the first cycle: `slot(k)` stays at `first`
+            // while `used - 1 + k < width`.
+            left: self.width - self.used + 1,
+            width: self.width,
+        }
+    }
+}
+
+/// Incremental cursor over a [`RunSchedule`]'s slots.
+#[derive(Debug, Clone, Copy)]
+struct SlotIter {
+    cycle: u64,
+    left: u32,
+    width: u32,
+}
+
+impl SlotIter {
+    /// The next slot's cycle.
+    #[inline]
+    fn next_slot(&mut self) -> u64 {
+        let c = self.cycle;
+        self.left -= 1;
+        if self.left == 0 {
+            self.cycle += 1;
+            self.left = self.width;
+        }
+        c
+    }
 }
 
 /// The out-of-order core (see module docs).
@@ -68,6 +150,10 @@ pub struct OooCore {
     bp: GsharePredictor,
     counters: CpuCounters,
     index: u64,
+    /// `index % rob_size`, tracked incrementally so the per-instruction
+    /// recurrence never pays an integer division (the paper-default ROB
+    /// of 126 is not a power of two).
+    slot: usize,
     /// Ring buffer of completion times, `rob_size` deep.
     complete: Vec<u64>,
     /// Ring buffer of commit times, `rob_size` deep.
@@ -94,6 +180,7 @@ impl OooCore {
             bp: GsharePredictor::new(12),
             counters: CpuCounters::default(),
             index: 0,
+            slot: 0,
             complete: vec![0; cfg.rob_size as usize],
             commit: vec![0; cfg.rob_size as usize],
             fetch: BandwidthCursor::new(cfg.fetch_width),
@@ -119,6 +206,62 @@ impl OooCore {
     }
 }
 
+/// The back half of the per-instruction recurrence — dispatch (ROB),
+/// ready (dependence), issue, and retire — over state hoisted into
+/// locals by the fused [`OooCore::step_block`]. Bit-identical to the
+/// corresponding section of [`OooCore::step`]. Returns the completion
+/// time (branch resolution needs it).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn sched_one(
+    complete: &mut [u64],
+    commit: &mut [u64],
+    rob: u64,
+    issue: &mut BandwidthCursor,
+    retire: &mut BandwidthCursor,
+    index: &mut u64,
+    slot: &mut usize,
+    last_commit: &mut u64,
+    mut fetch_time: u64,
+    pc: u64,
+    exec_lat: u64,
+) -> u64 {
+    // --- Dispatch: ROB occupancy. ---
+    // `slot` tracks `index % rob` incrementally: the oldest in-flight
+    // instruction's commit slot IS the slot this one will overwrite.
+    if *index >= rob {
+        fetch_time = fetch_time.max(commit[*slot]);
+    }
+    // --- Ready: data dependence on an earlier completion. ---
+    let dep = OooCore::dep_distance(pc);
+    let mut ready = fetch_time + 1;
+    if *index >= dep {
+        // `(index - dep) % rob` by compare-subtract: dep <= 6 < rob
+        // (CpuConfig::is_valid), so the index wraps at most once.
+        let d = dep as usize;
+        let ds = if *slot >= d {
+            *slot - d
+        } else {
+            *slot + rob as usize - d
+        };
+        ready = ready.max(complete[ds]);
+    }
+    // --- Issue + execute. ---
+    let issue_time = issue.schedule(ready);
+    let complete_time = issue_time + exec_lat;
+    // --- In-order retirement. ---
+    let commit_time = retire.schedule(complete_time.max(*last_commit));
+    *last_commit = commit_time;
+    complete[*slot] = complete_time;
+    commit[*slot] = commit_time;
+    *index += 1;
+    *slot += 1;
+    if *slot == rob as usize {
+        *slot = 0;
+    }
+    complete_time
+}
+
 impl Core for OooCore {
     fn step_block(
         &mut self,
@@ -127,11 +270,254 @@ impl Core for OooCore {
         mem: &mut Hierarchy,
         owner: Privilege,
     ) {
-        // Monomorphized override: `self.step` dispatches statically here,
-        // so the per-instruction loop carries no virtual calls.
-        for instr in spec.generate(seed) {
-            self.step(&instr, mem, owner);
+        // Fused hot path: consume the spec's run-batched view directly.
+        // Cycle-, counter-, and cache-identical to stepping
+        // `spec.generate(seed)` through `self.step` (the equivalence
+        // tests and the golden trace pin this), but with hot state in
+        // locals, no `Instruction` materialization, per-block constants
+        // resolved once, closed-form fetch scheduling for same-line
+        // spans, and within-line data re-probes folded into one
+        // bookkeeping step.
+        if spec.instr_count == 0 {
+            return;
         }
+        let rob = self.cfg.rob_size as u64;
+        let use_caches = self.cfg.use_caches;
+        let nocache_lat = self.cfg.nocache_mem_latency;
+        let penalty = self.cfg.mispredict_penalty;
+        let branch_lat = fu::latency(InstrClass::Branch);
+        let l1d_hit = mem.config().l1d.hit_latency;
+
+        // Hoist the rings and all scalar pipeline state out of `self`.
+        let mut complete = std::mem::take(&mut self.complete);
+        let mut commit = std::mem::take(&mut self.commit);
+        let mut fetch = self.fetch;
+        let mut issue = self.issue;
+        let mut retire = self.retire;
+        let mut index = self.index;
+        let mut slot = self.slot;
+        let mut last_commit = self.last_commit_time;
+        let mut redirect = self.redirect_cycle;
+        let mut last_line = self.last_fetch_line;
+        let mut c = self.counters;
+
+        let mut runs = spec.runs(seed);
+        while let Some(run) = runs.next_run() {
+            match run {
+                osprey_isa::InstrRun::Simple { pc, class, n } => {
+                    let exec_lat = fu::latency(class);
+                    c.instructions += n;
+                    if !use_caches {
+                        // No I-cache stalls: the whole run fetches at
+                        // bandwidth from `redirect` in closed form.
+                        last_line = (pc + 4 * (n - 1)) >> 6;
+                        let rs = fetch.schedule_run(redirect, n);
+                        let mut slots = rs.slots();
+                        for k in 0..n {
+                            sched_one(
+                                &mut complete,
+                                &mut commit,
+                                rob,
+                                &mut issue,
+                                &mut retire,
+                                &mut index,
+                                &mut slot,
+                                &mut last_commit,
+                                slots.next_slot(),
+                                pc + 4 * k,
+                                exec_lat,
+                            );
+                        }
+                    } else {
+                        // Per I-line segment: one potential miss stall on
+                        // the crossing, then pure-bandwidth fetch for the
+                        // rest of the line, in closed form.
+                        let mut k = 0u64;
+                        while k < n {
+                            let p = pc + 4 * k;
+                            let line = p >> 6;
+                            let mut earliest = redirect;
+                            if line != last_line {
+                                last_line = line;
+                                let fl = mem.fetch(p, owner);
+                                if fl > 1 {
+                                    earliest = earliest.max(fetch.cycle + fl - 1);
+                                }
+                            }
+                            // Instructions from `p` to the end of its line.
+                            let m = ((67 - (p & 63)) / 4).min(n - k);
+                            let rs = fetch.schedule_run(earliest, m);
+                            let mut slots = rs.slots();
+                            for j in 0..m {
+                                sched_one(
+                                    &mut complete,
+                                    &mut commit,
+                                    rob,
+                                    &mut issue,
+                                    &mut retire,
+                                    &mut index,
+                                    &mut slot,
+                                    &mut last_commit,
+                                    slots.next_slot(),
+                                    p + 4 * j,
+                                    exec_lat,
+                                );
+                            }
+                            k += m;
+                        }
+                    }
+                }
+                osprey_isa::InstrRun::Mem {
+                    pc,
+                    store,
+                    base,
+                    stride,
+                    n,
+                } => {
+                    c.instructions += n;
+                    if store {
+                        c.stores += n;
+                    } else {
+                        c.loads += n;
+                    }
+                    if !use_caches {
+                        let exec_lat = if store { 1 } else { nocache_lat };
+                        last_line = (pc + 4 * (n - 1)) >> 6;
+                        let rs = fetch.schedule_run(redirect, n);
+                        let mut slots = rs.slots();
+                        for k in 0..n {
+                            sched_one(
+                                &mut complete,
+                                &mut commit,
+                                rob,
+                                &mut issue,
+                                &mut retire,
+                                &mut index,
+                                &mut slot,
+                                &mut last_commit,
+                                slots.next_slot(),
+                                pc + 4 * k,
+                                exec_lat,
+                            );
+                        }
+                    } else {
+                        // The run's first access to each data line pays a
+                        // real probe; the rest of the line's accesses are
+                        // guaranteed L1D hits folded into one bookkeeping
+                        // step at the leader, preserving the relative
+                        // order of every L2-touching event. Fetch runs at
+                        // bandwidth within each I-line segment (every
+                        // instruction's bound is `redirect`, which cannot
+                        // exceed the segment's first slot), so it is
+                        // scheduled in closed form per segment like the
+                        // Simple path.
+                        let mut next_leader = 0u64;
+                        let mut k = 0u64;
+                        while k < n {
+                            let p = pc + 4 * k;
+                            let line = p >> 6;
+                            let mut earliest = redirect;
+                            if line != last_line {
+                                last_line = line;
+                                let fl = mem.fetch(p, owner);
+                                if fl > 1 {
+                                    earliest = earliest.max(fetch.cycle + fl - 1);
+                                }
+                            }
+                            // Instructions from `p` to the end of its line.
+                            let m = ((67 - (p & 63)) / 4).min(n - k);
+                            let rs = fetch.schedule_run(earliest, m);
+                            let mut slots = rs.slots();
+                            for j in 0..m {
+                                let i = k + j;
+                                let exec_lat = if i == next_leader {
+                                    let addr = base + stride * i;
+                                    let in_line = if stride == 0 {
+                                        n - i
+                                    } else {
+                                        (64 - (addr & 63)).div_ceil(stride)
+                                    };
+                                    let g = in_line.min(n - i);
+                                    let lat = mem.data_access(addr, store, owner);
+                                    if g > 1 {
+                                        mem.data_touch_repeat(addr, g - 1, store, owner);
+                                    }
+                                    next_leader = i + g;
+                                    if store {
+                                        1
+                                    } else {
+                                        lat
+                                    }
+                                } else if store {
+                                    1
+                                } else {
+                                    l1d_hit
+                                };
+                                sched_one(
+                                    &mut complete,
+                                    &mut commit,
+                                    rob,
+                                    &mut issue,
+                                    &mut retire,
+                                    &mut index,
+                                    &mut slot,
+                                    &mut last_commit,
+                                    slots.next_slot(),
+                                    p + 4 * j,
+                                    exec_lat,
+                                );
+                            }
+                            k += m;
+                        }
+                    }
+                }
+                osprey_isa::InstrRun::Branch { pc, taken, .. } => {
+                    let line = pc >> 6;
+                    let mut earliest = redirect;
+                    if line != last_line {
+                        last_line = line;
+                        let fl = if use_caches { mem.fetch(pc, owner) } else { 1 };
+                        if fl > 1 {
+                            earliest = earliest.max(fetch.cycle + fl - 1);
+                        }
+                    }
+                    let ft = fetch.schedule(earliest);
+                    let complete_time = sched_one(
+                        &mut complete,
+                        &mut commit,
+                        rob,
+                        &mut issue,
+                        &mut retire,
+                        &mut index,
+                        &mut slot,
+                        &mut last_commit,
+                        ft,
+                        pc,
+                        branch_lat,
+                    );
+                    c.branches += 1;
+                    c.instructions += 1;
+                    let predicted = self.bp.predict_and_update(pc, taken);
+                    if predicted != taken {
+                        c.mispredicts += 1;
+                        redirect = redirect.max(complete_time + penalty);
+                    }
+                }
+            }
+        }
+
+        self.complete = complete;
+        self.commit = commit;
+        self.fetch = fetch;
+        self.issue = issue;
+        self.retire = retire;
+        self.index = index;
+        self.slot = slot;
+        self.last_commit_time = last_commit;
+        self.redirect_cycle = redirect;
+        self.last_fetch_line = last_line;
+        self.counters = c;
+        self.cycles = last_commit;
     }
 
     fn step(&mut self, instr: &Instruction, mem: &mut Hierarchy, owner: Privilege) {
@@ -155,8 +541,10 @@ impl Core for OooCore {
         let mut fetch_time = self.fetch.schedule(earliest_fetch);
 
         // --- Dispatch: ROB occupancy. ---
+        // `self.slot` tracks `index % rob` incrementally; the oldest
+        // in-flight instruction's commit slot is the one being reused.
         if self.index >= rob {
-            let oldest_commit = self.commit[(self.index % rob) as usize];
+            let oldest_commit = self.commit[self.slot];
             fetch_time = fetch_time.max(oldest_commit);
         }
 
@@ -164,8 +552,14 @@ impl Core for OooCore {
         let dep = Self::dep_distance(instr.pc);
         let mut ready = fetch_time + 1;
         if self.index >= dep {
-            let producer = self.complete[((self.index - dep) % rob) as usize];
-            ready = ready.max(producer);
+            // dep <= 6 < rob (CpuConfig::is_valid): one wrap suffices.
+            let d = dep as usize;
+            let ds = if self.slot >= d {
+                self.slot - d
+            } else {
+                self.slot + rob as usize - d
+            };
+            ready = ready.max(self.complete[ds]);
         }
 
         // --- Issue: bandwidth + execution latency. ---
@@ -213,10 +607,13 @@ impl Core for OooCore {
             .schedule(complete_time.max(self.last_commit_time));
         self.last_commit_time = commit_time;
 
-        let slot = (self.index % rob) as usize;
-        self.complete[slot] = complete_time;
-        self.commit[slot] = commit_time;
+        self.complete[self.slot] = complete_time;
+        self.commit[self.slot] = commit_time;
         self.index += 1;
+        self.slot += 1;
+        if self.slot == rob as usize {
+            self.slot = 0;
+        }
         self.counters.instructions += 1;
         self.cycles = commit_time;
     }
@@ -377,6 +774,45 @@ mod tests {
         assert_eq!(c.schedule(0), 1, "third slot spills to next cycle");
         assert_eq!(c.schedule(5), 5, "jumping ahead resets usage");
         assert_eq!(c.schedule(3), 5, "late requests wait for cursor");
+    }
+
+    #[test]
+    fn schedule_run_matches_per_call_loop() {
+        // Every width × pre-state × earliest × length: the closed form
+        // must return the same per-slot cycles and leave the cursor in
+        // the same state as the per-call loop.
+        for width in [1u32, 2, 3, 4] {
+            for warm in 0..=(width + 1) {
+                for earliest in [0u64, 1, 5] {
+                    for n in [1u64, 2, 3, 7, 16, 100] {
+                        let mut a = BandwidthCursor::new(width);
+                        let mut b = BandwidthCursor::new(width);
+                        for _ in 0..warm {
+                            a.schedule(1);
+                            b.schedule(1);
+                        }
+                        let mut expect = Vec::new();
+                        for _ in 0..n {
+                            expect.push(a.schedule(earliest));
+                        }
+                        let rs = b.schedule_run(earliest, n);
+                        let got: Vec<u64> = (0..n).map(|k| rs.slot(k)).collect();
+                        assert_eq!(
+                            got, expect,
+                            "width {width} warm {warm} earliest {earliest} n {n}"
+                        );
+                        let mut it = rs.slots();
+                        let inc: Vec<u64> = (0..n).map(|_| it.next_slot()).collect();
+                        assert_eq!(
+                            inc, expect,
+                            "slots() width {width} warm {warm} earliest {earliest} n {n}"
+                        );
+                        assert_eq!(a.cycle, b.cycle);
+                        assert_eq!(a.used, b.used);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! counters, same cache statistics. The simulator's hot path relies on
 //! this equivalence (it only ever calls `step_block`).
 
-use osprey_cpu::{Core, CpuConfig, EmulationCore, InOrderCore, OooCore};
+use osprey_cpu::{Core, CpuConfig, EmulationCore, InOrderCore, OooCore, Unfused};
 use osprey_isa::{BlockSpec, InstrMix, MemPattern, Privilege};
 use osprey_mem::{Hierarchy, HierarchyConfig};
+use osprey_os::Kernel;
+use osprey_workloads::{Benchmark, WorkItem};
 
 /// A branchy, memory-heavy block large enough to exercise the pipeline,
 /// the branch predictor, and all three cache levels.
@@ -66,4 +68,111 @@ fn inorder_core_step_block_matches_step() {
 #[test]
 fn emulation_core_step_block_matches_step() {
     assert_equivalent(EmulationCore::new, "emulation");
+}
+
+/// The `(spec, seed, owner)` block stream a benchmark feeds the core:
+/// user compute blocks seeded the way `FullSystemSim` seeds them, and
+/// every kernel service invocation's blocks via `Kernel::handle`,
+/// capped at `budget` total instructions to keep debug-build runtime
+/// reasonable.
+fn benchmark_blocks(
+    benchmark: Benchmark,
+    seed: u64,
+    budget: u64,
+) -> Vec<(BlockSpec, u64, Privilege)> {
+    let mut workload = benchmark.instantiate_scaled(seed, 0.02);
+    let mut kernel = Kernel::new(seed);
+    let mut out = Vec::new();
+    let mut user_blocks = 0u64;
+    let mut now = 0u64;
+    let mut instrs = 0u64;
+    while instrs < budget {
+        let Some(item) = workload.next_item() else {
+            break;
+        };
+        match item {
+            WorkItem::Compute(spec) => {
+                let s = seed ^ user_blocks.wrapping_mul(0x517c_c1b7_2722_0a95);
+                instrs += spec.instr_count;
+                out.push((spec, s, Privilege::User));
+                user_blocks += 1;
+            }
+            WorkItem::Call(req) => {
+                let inv = kernel.handle(&req, now);
+                instrs += inv.instr_count();
+                for (block, s) in inv.block_seeds() {
+                    out.push((*block, s, Privilege::Kernel));
+                }
+            }
+        }
+        now += 1_000;
+    }
+    assert!(!out.is_empty(), "{benchmark:?} produced no blocks");
+    out
+}
+
+/// Runs one benchmark's block stream through the fused `step_block` and
+/// through [`Unfused`] (the trait-default per-instruction loop) and
+/// asserts cycles, full `CpuCounters`, and every cache statistic agree.
+fn assert_benchmark_equivalent<C: Core + Clone>(
+    make: impl Fn() -> C,
+    benchmark: Benchmark,
+    seed: u64,
+    label: &str,
+) {
+    let blocks = benchmark_blocks(benchmark, seed, 60_000);
+    let mut fused = make();
+    let mut reference = Unfused(make());
+    let mut mem_fused = Hierarchy::new(HierarchyConfig::default());
+    let mut mem_reference = Hierarchy::new(HierarchyConfig::default());
+    for (spec, s, owner) in &blocks {
+        fused.step_block(spec, *s, &mut mem_fused, *owner);
+        reference.step_block(spec, *s, &mut mem_reference, *owner);
+    }
+    let tag = format!("{label}/{}/seed{seed}", benchmark.name());
+    assert_eq!(fused.cycles(), reference.cycles(), "{tag}: cycles");
+    assert_eq!(fused.counters(), reference.counters(), "{tag}: counters");
+    assert_eq!(
+        mem_fused.snapshot(),
+        mem_reference.snapshot(),
+        "{tag}: cache stats"
+    );
+}
+
+/// All three cores × all 9 benchmarks × 3 seeds: the fused hot path is
+/// cycle- and counter-identical to the per-instruction reference on the
+/// exact block streams the simulator executes.
+#[test]
+fn fused_path_matches_reference_across_all_benchmarks() {
+    for &benchmark in &Benchmark::ALL {
+        for seed in [1u64, 2, 3] {
+            assert_benchmark_equivalent(
+                || OooCore::new(CpuConfig::pentium4()),
+                benchmark,
+                seed,
+                "ooo-cache",
+            );
+            assert_benchmark_equivalent(
+                || InOrderCore::new(CpuConfig::pentium4()),
+                benchmark,
+                seed,
+                "inorder-cache",
+            );
+            assert_benchmark_equivalent(EmulationCore::new, benchmark, seed, "emulation");
+        }
+        // The nocache variants share the fused generator; one seed each
+        // keeps the matrix cheap while covering the cacheless fetch path.
+        assert_benchmark_equivalent(
+            || OooCore::new(CpuConfig::pentium4_nocache()),
+            benchmark,
+            1,
+            "ooo-nocache",
+        );
+        assert_benchmark_equivalent(
+            || InOrderCore::new(CpuConfig::pentium4_nocache()),
+            benchmark,
+            1,
+            "inorder-nocache",
+        );
+    }
 }

@@ -145,39 +145,74 @@ impl InstrMix {
         ];
         parts.iter().all(|&p| (0.0..=1.0).contains(&p)) && self.alu_fraction() >= -1e-9
     }
+}
 
-    /// Picks a class from the mix using a uniform sample in `[0, 1)`.
+/// Precomputed cumulative thresholds of an [`InstrMix`].
+///
+/// The thresholds are the same left-to-right partial sums the
+/// incremental accumulator used to compute per pick, so classification
+/// is bit-identical while the per-instruction cost drops to a compare
+/// chain over cached values.
+#[derive(Debug, Clone, Copy)]
+struct MixCdf {
+    /// Partial sums: load, +store, +branch, +int_mul, +int_div,
+    /// +fp_add, +fp_mul, +fp_div.
+    t: [f64; 8],
+}
+
+impl MixCdf {
+    fn new(mix: &InstrMix) -> Self {
+        let mut t = [0.0; 8];
+        let mut acc = mix.load;
+        t[0] = acc;
+        acc += mix.store;
+        t[1] = acc;
+        acc += mix.branch;
+        t[2] = acc;
+        acc += mix.int_mul;
+        t[3] = acc;
+        acc += mix.int_div;
+        t[4] = acc;
+        acc += mix.fp_add;
+        t[5] = acc;
+        acc += mix.fp_mul;
+        t[6] = acc;
+        acc += mix.fp_div;
+        t[7] = acc;
+        Self { t }
+    }
+
+    #[inline]
     fn pick(&self, u: f64) -> InstrClass {
-        let mut acc = self.load;
-        if u < acc {
+        // Plain ALU is the most common outcome in every preset mix and
+        // the chain's final fall-through; testing it first costs one
+        // compare instead of eight. `u >= t[7]` ⇔ every `u < t[i]` below
+        // fails, so the classification is unchanged.
+        if u >= self.t[7] {
+            return InstrClass::IntAlu;
+        }
+        if u < self.t[0] {
             return InstrClass::Load;
         }
-        acc += self.store;
-        if u < acc {
+        if u < self.t[1] {
             return InstrClass::Store;
         }
-        acc += self.branch;
-        if u < acc {
+        if u < self.t[2] {
             return InstrClass::Branch;
         }
-        acc += self.int_mul;
-        if u < acc {
+        if u < self.t[3] {
             return InstrClass::IntMul;
         }
-        acc += self.int_div;
-        if u < acc {
+        if u < self.t[4] {
             return InstrClass::IntDiv;
         }
-        acc += self.fp_add;
-        if u < acc {
+        if u < self.t[5] {
             return InstrClass::FpAdd;
         }
-        acc += self.fp_mul;
-        if u < acc {
+        if u < self.t[6] {
             return InstrClass::FpMul;
         }
-        acc += self.fp_div;
-        if u < acc {
+        if u < self.t[7] {
             return InstrClass::FpDiv;
         }
         InstrClass::IntAlu
@@ -299,71 +334,267 @@ impl BlockSpec {
     /// The same `(spec, seed)` pair always yields the identical stream.
     pub fn generate(&self, seed: u64) -> BlockGen {
         BlockGen {
-            spec: *self,
-            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
-            pc: self.base_pc,
-            emitted: 0,
-            seq_offset: 0,
+            st: GenState::new(self, seed),
         }
+    }
+
+    /// Expands the spec into the same stream as [`BlockSpec::generate`],
+    /// but batched into [`InstrRun`]s of same-class instructions.
+    ///
+    /// Expanding the runs yields exactly the instructions `generate(seed)`
+    /// yields, in order — the run view is a lossless re-grouping, which is
+    /// what lets the timing cores consume it without changing a single
+    /// cycle or counter.
+    pub fn runs(&self, seed: u64) -> RunGen {
+        RunGen {
+            st: GenState::new(self, seed),
+            pending: None,
+        }
+    }
+
+    /// Totals of the stream `generate(seed)` yields — exactly what
+    /// emulation mode counts — without materializing instructions or
+    /// runs.
+    ///
+    /// The loop makes the same RNG draws in the same order as the full
+    /// expansion but only *reads* the ones that influence totals or
+    /// control flow: class picks, branch-predictability draws, direction
+    /// coins, and taken-branch hops. Data-address draws are skipped with
+    /// [`osprey_stats::rng::SmallRng::skip`] (their values only affect
+    /// addresses, which totals never see), as are hop draws of
+    /// not-taken branches. Equivalence to the expanded stream is pinned
+    /// by `class_totals_match_the_expanded_stream`.
+    pub fn class_totals(&self, seed: u64) -> ClassTotals {
+        let st = GenState::new(self, seed);
+        let cdf = st.cdf;
+        let (code_end, base_pc) = (st.code_end, self.base_pc);
+        let random_data = st.seq_stride == 0;
+        let mut rng = st.rng;
+        let mut pc = st.pc;
+        let (mut loads, mut stores, mut branches) = (0u64, 0u64, 0u64);
+        for _ in 0..self.instr_count {
+            if pc + 4 >= code_end {
+                // Loop back-edge: an always-taken branch, no draws.
+                branches += 1;
+                pc = base_pc;
+                continue;
+            }
+            let u: f64 = rng.random();
+            // Totals only need the coarse kind; every non-memory,
+            // non-branch class counts the same way.
+            if u < cdf.t[0] {
+                loads += 1;
+                if random_data {
+                    rng.skip(1);
+                }
+            } else if u < cdf.t[1] {
+                stores += 1;
+                if random_data {
+                    rng.skip(1);
+                }
+            } else if u < cdf.t[2] {
+                branches += 1;
+                let predictable: bool = rng.random::<f64>() < self.branch_predictability;
+                let taken = if predictable {
+                    false
+                } else {
+                    rng.random::<bool>()
+                };
+                if taken {
+                    let span = code_end - pc - 4;
+                    let hop = 4 + (rng.random_range(0..4u64)) * 4;
+                    pc += 4 + hop.min(span.saturating_sub(4) & !0x3);
+                } else {
+                    // The hop draw still happens; its value is unused.
+                    rng.skip(1);
+                    pc += 4;
+                }
+                continue;
+            }
+            pc += 4;
+        }
+        ClassTotals {
+            instructions: self.instr_count,
+            loads,
+            stores,
+            branches,
+        }
+    }
+
+    /// A stable 64-bit identity for this spec.
+    ///
+    /// Folds every field (float fields by their bit patterns) through a
+    /// SplitMix64-style mixer, so equal specs always agree and the value
+    /// is reproducible across processes and platforms. Used by perf
+    /// tooling to key per-spec derived state and label hot blocks.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut z = (h ^ v).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let (pattern_tag, pattern_stride) = match self.mem.pattern {
+            AccessPattern::Sequential { stride } => (0, stride),
+            AccessPattern::Random => (1, 0),
+        };
+        let mut h = 0x6f73_7072_6579_5f62; // "osprey_b"
+        for v in [
+            self.base_pc,
+            self.instr_count,
+            self.code_footprint,
+            self.mix.load.to_bits(),
+            self.mix.store.to_bits(),
+            self.mix.branch.to_bits(),
+            self.mix.int_mul.to_bits(),
+            self.mix.int_div.to_bits(),
+            self.mix.fp_add.to_bits(),
+            self.mix.fp_mul.to_bits(),
+            self.mix.fp_div.to_bits(),
+            self.mem.base,
+            self.mem.footprint,
+            pattern_tag,
+            pattern_stride,
+            self.branch_predictability.to_bits(),
+        ] {
+            h = mix(h, v);
+        }
+        h
     }
 }
 
-/// Iterator over the instructions of a [`BlockSpec`].
+/// Per-class instruction totals of one expanded block — the exact
+/// quantities emulation mode accumulates.
 ///
-/// Produced by [`BlockSpec::generate`].
+/// Produced by [`BlockSpec::class_totals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassTotals {
+    /// Total dynamic instructions (always the spec's `instr_count`).
+    pub instructions: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Branches, including loop back-edges.
+    pub branches: u64,
+}
+
+/// One raw generation decision: an instruction reduced to exactly what
+/// the timing models consume, with no `Instruction` materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Raw {
+    /// A non-memory, non-branch instruction of the given class.
+    Simple(InstrClass),
+    /// A load (`store == false`) or store at `addr`.
+    Mem {
+        /// `true` for stores.
+        store: bool,
+        /// Effective data address.
+        addr: u64,
+    },
+    /// A branch with a resolved direction and target.
+    Branch {
+        /// Resolved direction.
+        taken: bool,
+        /// Branch target (the next pc when taken).
+        target: u64,
+    },
+}
+
+/// Shared generation state: the spec plus derived constants, the RNG,
+/// and the stream cursor. Both [`BlockGen`] and [`RunGen`] drive this
+/// one decision procedure, so their RNG draw orders are identical by
+/// construction.
 #[derive(Debug, Clone)]
-pub struct BlockGen {
+struct GenState {
     spec: BlockSpec,
+    cdf: MixCdf,
+    code_end: u64,
+    /// `mem.footprint.max(8)` — the wrap modulus of the data walk.
+    footprint: u64,
+    /// Effective sequential stride (`stride.max(1)`); 0 for random.
+    seq_stride: u64,
     rng: SmallRng,
     pc: u64,
     emitted: u64,
     seq_offset: u64,
 }
 
-impl BlockGen {
+impl GenState {
+    fn new(spec: &BlockSpec, seed: u64) -> Self {
+        Self {
+            spec: *spec,
+            cdf: MixCdf::new(&spec.mix),
+            code_end: spec.base_pc + spec.code_footprint,
+            footprint: spec.mem.footprint.max(8),
+            seq_stride: match spec.mem.pattern {
+                AccessPattern::Sequential { stride } => stride.max(1),
+                AccessPattern::Random => 0,
+            },
+            rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            pc: spec.base_pc,
+            emitted: 0,
+            seq_offset: 0,
+        }
+    }
+
     /// Instructions remaining to be emitted.
-    pub fn remaining(&self) -> u64 {
+    fn remaining(&self) -> u64 {
         self.spec.instr_count - self.emitted
     }
 
+    #[inline]
     fn next_data_addr(&mut self) -> u64 {
-        let m = &self.spec.mem;
-        let footprint = m.footprint.max(8);
-        match m.pattern {
-            AccessPattern::Sequential { stride } => {
-                let addr = m.base + self.seq_offset;
-                self.seq_offset = (self.seq_offset + stride.max(1)) % footprint;
-                addr
+        if self.seq_stride > 0 {
+            let addr = self.spec.mem.base + self.seq_offset;
+            self.seq_offset += self.seq_stride;
+            if self.seq_offset >= self.footprint {
+                self.seq_offset %= self.footprint;
             }
-            AccessPattern::Random => m.base + (self.rng.random_range(0..footprint) & !0x3),
+            addr
+        } else {
+            self.spec.mem.base + (self.rng.random_range(0..self.footprint) & !0x3)
         }
     }
-}
 
-impl Iterator for BlockGen {
-    type Item = Instruction;
-
-    fn next(&mut self) -> Option<Instruction> {
+    /// The next raw decision, or `None` at the end of the stream.
+    ///
+    /// Draw-for-draw identical to the original `BlockGen::next`: one
+    /// class draw per instruction; one address draw for random-pattern
+    /// memory ops; predictability, optional coin, and an unconditional
+    /// hop draw for branches; no draws for the loop back-edge.
+    #[inline]
+    fn next_raw(&mut self) -> Option<(u64, Raw)> {
         if self.emitted >= self.spec.instr_count {
             return None;
         }
         self.emitted += 1;
 
-        let code_end = self.spec.base_pc + self.spec.code_footprint;
+        let pc = self.pc;
         // At the end of the code region, loop back with an always-taken,
         // perfectly regular branch (a loop back-edge).
-        if self.pc + 4 >= code_end {
-            let instr = Instruction::branch(self.pc, true, self.spec.base_pc);
+        if pc + 4 >= self.code_end {
             self.pc = self.spec.base_pc;
-            return Some(instr);
+            return Some((
+                pc,
+                Raw::Branch {
+                    taken: true,
+                    target: self.spec.base_pc,
+                },
+            ));
         }
 
         let u: f64 = self.rng.random();
-        let class = self.spec.mix.pick(u);
-        let pc = self.pc;
-        let instr = match class {
-            InstrClass::Load => Instruction::load(pc, self.next_data_addr()),
-            InstrClass::Store => Instruction::store(pc, self.next_data_addr()),
+        let class = self.cdf.pick(u);
+        let raw = match class {
+            InstrClass::Load => Raw::Mem {
+                store: false,
+                addr: self.next_data_addr(),
+            },
+            InstrClass::Store => Raw::Mem {
+                store: true,
+                addr: self.next_data_addr(),
+            },
             InstrClass::Branch => {
                 let predictable: bool = self.rng.random::<f64>() < self.spec.branch_predictability;
                 // Predictable branches are not taken (fall through, easy to
@@ -374,15 +605,46 @@ impl Iterator for BlockGen {
                 } else {
                     self.rng.random::<bool>()
                 };
-                let span = code_end - pc - 4;
+                let span = self.code_end - pc - 4;
                 let hop = 4 + (self.rng.random_range(0..4u64)) * 4;
                 let target = pc + 4 + hop.min(span.saturating_sub(4) & !0x3);
-                Instruction::branch(pc, taken, target)
+                self.pc = if taken { target } else { pc + 4 };
+                return Some((pc, Raw::Branch { taken, target }));
             }
-            other => Instruction::simple(pc, other),
+            other => Raw::Simple(other),
         };
-        self.pc = instr.next_pc();
-        Some(instr)
+        self.pc = pc + 4;
+        Some((pc, raw))
+    }
+}
+
+/// Iterator over the instructions of a [`BlockSpec`].
+///
+/// Produced by [`BlockSpec::generate`].
+#[derive(Debug, Clone)]
+pub struct BlockGen {
+    st: GenState,
+}
+
+impl BlockGen {
+    /// Instructions remaining to be emitted.
+    pub fn remaining(&self) -> u64 {
+        self.st.remaining()
+    }
+}
+
+impl Iterator for BlockGen {
+    type Item = Instruction;
+
+    #[inline]
+    fn next(&mut self) -> Option<Instruction> {
+        let (pc, raw) = self.st.next_raw()?;
+        Some(match raw {
+            Raw::Simple(class) => Instruction::simple(pc, class),
+            Raw::Mem { store: false, addr } => Instruction::load(pc, addr),
+            Raw::Mem { store: true, addr } => Instruction::store(pc, addr),
+            Raw::Branch { taken, target } => Instruction::branch(pc, taken, target),
+        })
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -392,6 +654,156 @@ impl Iterator for BlockGen {
 }
 
 impl ExactSizeIterator for BlockGen {}
+
+/// A maximal batch of consecutive same-kind instructions from a
+/// [`BlockSpec`] stream.
+///
+/// Runs are a lossless re-grouping of the instruction stream: expanding
+/// every run in order reproduces exactly what [`BlockSpec::generate`]
+/// yields. Timing cores consume runs directly, paying the per-run
+/// bookkeeping once instead of once per instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrRun {
+    /// `n` instructions of one non-memory, non-branch class at
+    /// `pc, pc + 4, …, pc + 4 (n − 1)`.
+    Simple {
+        /// Address of the first instruction.
+        pc: u64,
+        /// Class shared by every instruction in the run.
+        class: InstrClass,
+        /// Number of instructions (≥ 1).
+        n: u64,
+    },
+    /// `n` loads or stores at consecutive pcs whose data addresses walk
+    /// `base, base + stride, …` without wrapping.
+    Mem {
+        /// Address of the first instruction.
+        pc: u64,
+        /// `true` for stores.
+        store: bool,
+        /// Data address of the first access.
+        base: u64,
+        /// Byte stride between consecutive accesses. 0 when the spec's
+        /// pattern is random (such runs always have `n == 1`).
+        stride: u64,
+        /// Number of accesses (≥ 1).
+        n: u64,
+    },
+    /// A single branch with a resolved direction and target.
+    Branch {
+        /// Branch address.
+        pc: u64,
+        /// Resolved direction.
+        taken: bool,
+        /// Branch target (the next pc when taken).
+        target: u64,
+    },
+}
+
+impl InstrRun {
+    /// Number of dynamic instructions the run covers.
+    pub fn len(&self) -> u64 {
+        match *self {
+            InstrRun::Simple { n, .. } | InstrRun::Mem { n, .. } => n,
+            InstrRun::Branch { .. } => 1,
+        }
+    }
+
+    /// `true` when the run covers no instructions (never produced by
+    /// [`RunGen`]; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Run-batched view of a [`BlockSpec`] stream.
+///
+/// Produced by [`BlockSpec::runs`]. Groups the underlying decision
+/// stream into maximal [`InstrRun`]s using one decision of lookahead;
+/// the RNG draw order is identical to [`BlockGen`]'s because both drive
+/// the same decision procedure.
+#[derive(Debug, Clone)]
+pub struct RunGen {
+    st: GenState,
+    pending: Option<(u64, Raw)>,
+}
+
+impl RunGen {
+    /// Instructions (not runs) remaining, including a pending lookahead.
+    pub fn remaining(&self) -> u64 {
+        self.st.remaining() + u64::from(self.pending.is_some())
+    }
+
+    /// The next run, or `None` at the end of the stream.
+    #[inline]
+    pub fn next_run(&mut self) -> Option<InstrRun> {
+        let (pc, first) = match self.pending.take() {
+            Some(p) => p,
+            None => self.st.next_raw()?,
+        };
+        match first {
+            Raw::Branch { taken, target } => Some(InstrRun::Branch { pc, taken, target }),
+            Raw::Simple(class) => {
+                let mut n = 1;
+                loop {
+                    match self.st.next_raw() {
+                        Some((p2, Raw::Simple(c2))) if c2 == class => {
+                            debug_assert_eq!(p2, pc + 4 * n);
+                            n += 1;
+                        }
+                        other => {
+                            self.pending = other;
+                            break;
+                        }
+                    }
+                }
+                Some(InstrRun::Simple { pc, class, n })
+            }
+            Raw::Mem { store, addr } => {
+                let stride = self.st.seq_stride;
+                let mut n = 1;
+                if stride > 0 {
+                    // Extend while the walk stays linear (no wrap) and the
+                    // op kind is unchanged.
+                    loop {
+                        match self.st.next_raw() {
+                            Some((
+                                p2,
+                                Raw::Mem {
+                                    store: s2,
+                                    addr: a2,
+                                },
+                            )) if s2 == store && a2 == addr + stride * n => {
+                                debug_assert_eq!(p2, pc + 4 * n);
+                                n += 1;
+                            }
+                            other => {
+                                self.pending = other;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Some(InstrRun::Mem {
+                    pc,
+                    store,
+                    base: addr,
+                    stride,
+                    n,
+                })
+            }
+        }
+    }
+}
+
+impl Iterator for RunGen {
+    type Item = InstrRun;
+
+    #[inline]
+    fn next(&mut self) -> Option<InstrRun> {
+        self.next_run()
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -507,5 +919,168 @@ mod tests {
         assert_eq!(gen.size_hint(), (5000, Some(5000)));
         gen.next();
         assert_eq!(gen.size_hint(), (4999, Some(4999)));
+    }
+
+    /// Expands a run back into the instructions it stands for.
+    fn expand(run: InstrRun) -> Vec<Instruction> {
+        match run {
+            InstrRun::Simple { pc, class, n } => (0..n)
+                .map(|k| Instruction::simple(pc + 4 * k, class))
+                .collect(),
+            InstrRun::Mem {
+                pc,
+                store,
+                base,
+                stride,
+                n,
+            } => (0..n)
+                .map(|k| {
+                    let (p, a) = (pc + 4 * k, base + stride * k);
+                    if store {
+                        Instruction::store(p, a)
+                    } else {
+                        Instruction::load(p, a)
+                    }
+                })
+                .collect(),
+            InstrRun::Branch { pc, taken, target } => {
+                vec![Instruction::branch(pc, taken, target)]
+            }
+        }
+    }
+
+    /// Every mix preset × access pattern × several seeds: the run view
+    /// expands to exactly the instruction stream, except that run
+    /// batching drops the synthetic branch-target detail the timing
+    /// models never read for non-branches (there is none — streams must
+    /// be fully equal).
+    #[test]
+    fn runs_expand_to_the_exact_instruction_stream() {
+        let mixes = [
+            InstrMix::balanced(),
+            InstrMix::kernel_control(),
+            InstrMix::memory_copy(),
+            InstrMix::compute_fp(),
+            InstrMix::compute_int(),
+        ];
+        let mems = [
+            MemPattern::sequential(0x800_0000, 768, 8),
+            MemPattern::sequential(0x800_0000, 16 * 1024, 64),
+            MemPattern::random(0x800_0000, 32 * 1024),
+        ];
+        for mix in mixes {
+            for mem in mems {
+                for seed in [0, 1, 7, 0xdead_beef] {
+                    let s = BlockSpec::new(0x40_0000, 4_000)
+                        .with_mix(mix)
+                        .with_mem(mem)
+                        .with_code_footprint(512);
+                    let direct: Vec<_> = s.generate(seed).collect();
+                    let via_runs: Vec<_> = s.runs(seed).flat_map(expand).collect();
+                    assert_eq!(direct, via_runs, "mix {mix:?} mem {mem:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_maximal_and_sized_consistently() {
+        let s = spec();
+        let mut gen = s.runs(9);
+        let mut total = 0;
+        let mut prev: Option<InstrRun> = None;
+        assert_eq!(gen.remaining(), 5_000);
+        while let Some(run) = gen.next_run() {
+            assert!(!run.is_empty());
+            total += run.len();
+            // Two adjacent Simple runs of the same class would mean the
+            // first was not maximal.
+            if let (Some(InstrRun::Simple { class: c1, .. }), InstrRun::Simple { class: c2, .. }) =
+                (prev, run)
+            {
+                assert_ne!(c1, c2, "adjacent same-class simple runs");
+            }
+            prev = Some(run);
+        }
+        assert_eq!(total, 5_000);
+        assert_eq!(gen.remaining(), 0);
+    }
+
+    #[test]
+    fn sequential_mem_runs_batch_within_line_accesses() {
+        // A pure-load stride-8 walk must produce multi-access runs.
+        let s = BlockSpec::new(0x1000, 1000)
+            .with_mix(InstrMix {
+                load: 1.0,
+                store: 0.0,
+                branch: 0.0,
+                int_mul: 0.0,
+                int_div: 0.0,
+                fp_add: 0.0,
+                fp_mul: 0.0,
+                fp_div: 0.0,
+            })
+            .with_mem(MemPattern::sequential(0x20_0000, 1024, 8))
+            .with_code_footprint(1 << 20);
+        let longest = s.runs(5).map(|r| r.len()).max().unwrap();
+        assert!(longest > 8, "longest mem run {longest}");
+    }
+
+    /// The bulk counting loop must agree with counting the expanded
+    /// stream for every mix preset × access pattern × seed — including
+    /// footprints small enough to exercise back-edges heavily.
+    #[test]
+    fn class_totals_match_the_expanded_stream() {
+        let mixes = [
+            InstrMix::balanced(),
+            InstrMix::kernel_control(),
+            InstrMix::memory_copy(),
+            InstrMix::compute_fp(),
+            InstrMix::compute_int(),
+        ];
+        let mems = [
+            MemPattern::sequential(0x800_0000, 768, 8),
+            MemPattern::random(0x800_0000, 32 * 1024),
+        ];
+        for mix in mixes {
+            for mem in mems {
+                for seed in [0, 1, 7, 0xdead_beef] {
+                    let s = BlockSpec::new(0x40_0000, 4_000)
+                        .with_mix(mix)
+                        .with_mem(mem)
+                        .with_code_footprint(512)
+                        .with_branch_predictability(0.6);
+                    let mut expected = ClassTotals::default();
+                    for i in s.generate(seed) {
+                        expected.instructions += 1;
+                        match i.class {
+                            InstrClass::Load => expected.loads += 1,
+                            InstrClass::Store => expected.stores += 1,
+                            InstrClass::Branch => expected.branches += 1,
+                            _ => {}
+                        }
+                    }
+                    let got = s.class_totals(seed);
+                    assert_eq!(got, expected, "mix {mix:?} mem {mem:?} seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let s = spec();
+        assert_eq!(s.fingerprint(), s.fingerprint());
+        assert_eq!(s.fingerprint(), spec().fingerprint());
+        let variants = [
+            BlockSpec::new(0x40_0001, 5_000),
+            spec().with_code_footprint(128),
+            spec().with_branch_predictability(0.5),
+            spec().with_mix(InstrMix::memory_copy()),
+            spec().with_mem(MemPattern::sequential(0x800_0000, 32 * 1024, 64)),
+        ];
+        for v in variants {
+            assert_ne!(s.fingerprint(), v.fingerprint(), "{v:?}");
+        }
     }
 }

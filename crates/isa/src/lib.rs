@@ -29,7 +29,9 @@ pub mod instr;
 pub mod privilege;
 pub mod service;
 
-pub use block::{AccessPattern, BlockGen, BlockSpec, InstrMix, MemPattern};
+pub use block::{
+    AccessPattern, BlockGen, BlockSpec, ClassTotals, InstrMix, InstrRun, MemPattern, RunGen,
+};
 pub use instr::{BranchInfo, InstrClass, Instruction};
 pub use privilege::Privilege;
 pub use service::ServiceId;

@@ -37,6 +37,18 @@ pub struct AccessOutcome {
     pub writeback: Option<u64>,
 }
 
+/// Aggregate result of a batched [`Cache::access_run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (and filled).
+    pub misses: u64,
+    /// Block addresses of dirty lines evicted by the fills, in eviction
+    /// order; each must be written back to the next level.
+    pub writebacks: Vec<u64>,
+}
+
 /// One level of cache.
 ///
 /// # Examples
@@ -129,6 +141,7 @@ impl Cache {
     /// invalid/LRU bookkeeping a fill needs is gathered in the same pass —
     /// a hit returns before any of it is consulted and a miss never
     /// re-scans the set.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool, owner: Privilege) -> AccessOutcome {
         self.clock += 1;
         let clock = self.clock;
@@ -211,6 +224,90 @@ impl Cache {
             hit: false,
             writeback,
         }
+    }
+
+    /// Re-touches the set's MRU line — which must hold `addr` — `n`
+    /// more times, exactly as `n` repeated [`Cache::access`] hits would:
+    /// the clock and the owner's access counter advance by `n`, the line
+    /// takes the final clock as its LRU stamp, is marked dirty on
+    /// writes, and is re-tagged to `owner`.
+    ///
+    /// This is the within-line half of [`Cache::access_run`]: once an
+    /// access has made a line both resident and MRU, further accesses to
+    /// the same line are guaranteed hits whose individual outcomes carry
+    /// no information, so they can be folded into one bookkeeping step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set's MRU way does not hold `addr` — the caller
+    /// must have just accessed the same line.
+    #[inline]
+    pub fn touch_repeat(&mut self, addr: u64, n: u64, is_write: bool, owner: Privilege) {
+        if n == 0 {
+            return;
+        }
+        self.clock += n;
+        match owner {
+            Privilege::User => self.stats.app_accesses += n,
+            Privilege::Kernel => self.stats.os_accesses += n,
+        }
+        let (set, tag) = self.decompose(addr);
+        let mru = self.mru_way[set] as usize;
+        let line = &mut self.sets[set * self.cfg.assoc + mru];
+        assert!(
+            line.valid && line.tag == tag,
+            "touch_repeat requires the line to be resident and MRU"
+        );
+        line.stamp = self.clock;
+        line.dirty |= is_write;
+        line.owner = owner;
+    }
+
+    /// Performs `n` accesses walking `base, base + stride, …`, exactly
+    /// equivalent to `n` [`Cache::access`] calls in a loop — identical
+    /// statistics, LRU stamps, dirty bits, and write-backs — but paying
+    /// the probe/scan cost once per touched *line* instead of once per
+    /// access (`stride == 0` repeats the same address).
+    ///
+    /// Returns the aggregate outcome; per-access hit results for the
+    /// skipped accesses are guaranteed hits by construction.
+    pub fn access_run(
+        &mut self,
+        base: u64,
+        stride: u64,
+        n: u64,
+        is_write: bool,
+        owner: Privilege,
+    ) -> RunOutcome {
+        let mut out = RunOutcome::default();
+        let line = self.cfg.line;
+        let mut k = 0;
+        while k < n {
+            let addr = base + stride * k;
+            // Accesses k .. k+g share addr's line: the first access makes
+            // the line resident and MRU, so the rest are pure re-touches.
+            let in_line = if stride == 0 {
+                n - k
+            } else {
+                (line - (addr & (line - 1))).div_ceil(stride)
+            };
+            let g = in_line.min(n - k);
+            let first = self.access(addr, is_write, owner);
+            if first.hit {
+                out.hits += 1;
+            } else {
+                out.misses += 1;
+            }
+            if let Some(wb) = first.writeback {
+                out.writebacks.push(wb);
+            }
+            if g > 1 {
+                self.touch_repeat(addr, g - 1, is_write, owner);
+                out.hits += g - 1;
+            }
+            k += g;
+        }
+        out
     }
 
     /// Checks residency without updating LRU state or statistics.
@@ -306,6 +403,12 @@ impl Cache {
     /// Invalidates everything (keeps statistics).
     pub fn flush(&mut self) {
         self.sets.fill(Line::EMPTY);
+        // Reset the MRU hints too: after a flush every line is invalid,
+        // so a stale hint would send the first post-flush access in each
+        // set down a guaranteed-dead fast-path probe. (Correctness never
+        // depended on this — the fast path checks validity — it was just
+        // a wasted compare.)
+        self.mru_way.fill(0);
     }
 }
 
@@ -451,6 +554,97 @@ mod tests {
         assert!(!c.probe(0x000));
         assert_eq!(c.stats().app_accesses, 1);
         assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn flush_resets_mru_hints() {
+        let mut c = small();
+        // Make way 1 the MRU way of set 0, then flush.
+        c.access(0x000, false, Privilege::User);
+        c.access(0x100, false, Privilege::User);
+        assert_eq!(c.mru_way[0], 1);
+        c.flush();
+        assert!(c.mru_way.iter().all(|&w| w == 0), "hints cleared");
+        // Post-flush behavior is identical to a fresh cache modulo the
+        // retained statistics and clock: same fills, same victims.
+        let mut fresh = small();
+        let stats_offset = *c.stats();
+        for addr in [0x000u64, 0x100, 0x040, 0x000, 0x200] {
+            let a = c.access(addr, true, Privilege::Kernel);
+            let b = fresh.access(addr, true, Privilege::Kernel);
+            assert_eq!(a, b, "post-flush access to {addr:#x} diverged");
+        }
+        assert_eq!(c.stats().os_accesses - stats_offset.os_accesses, 5);
+        assert_eq!(fresh.stats().os_accesses, 5);
+    }
+
+    #[test]
+    fn touch_repeat_matches_repeated_hits() {
+        let mut a = small();
+        let mut b = small();
+        a.access(0x1000, false, Privilege::User);
+        b.access(0x1000, false, Privilege::User);
+        for _ in 0..5 {
+            a.access(0x1008, true, Privilege::Kernel);
+        }
+        b.access(0x1008, true, Privilege::Kernel);
+        b.touch_repeat(0x1008, 4, true, Privilege::Kernel);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.clock, b.clock);
+        // Subsequent evictions see identical LRU state.
+        let out_a = a.access(0x1100, false, Privilege::User);
+        let out_b = b.access(0x1100, false, Privilege::User);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident and MRU")]
+    fn touch_repeat_rejects_non_mru_lines() {
+        let mut c = small();
+        c.access(0x000, false, Privilege::User);
+        c.access(0x100, false, Privilege::User); // 0x000 no longer MRU
+        c.touch_repeat(0x000, 1, false, Privilege::User);
+    }
+
+    #[test]
+    fn access_run_matches_per_access_loop() {
+        // Strides around and across the 64 B line, with wrap-free walks
+        // long enough to force evictions and writebacks in the tiny cache.
+        for stride in [0u64, 4, 8, 16, 64, 96, 256] {
+            for is_write in [false, true] {
+                let mut looped = small();
+                let mut batched = small();
+                // Warm both with a dirty resident line so runs evict it.
+                looped.access(0x40, true, Privilege::User);
+                batched.access(0x40, true, Privilege::User);
+                let (base, n) = (0x0u64, 100u64);
+                let mut expect = RunOutcome::default();
+                for k in 0..n {
+                    let out = looped.access(base + stride * k, is_write, Privilege::Kernel);
+                    if out.hit {
+                        expect.hits += 1;
+                    } else {
+                        expect.misses += 1;
+                    }
+                    expect.writebacks.extend(out.writeback);
+                }
+                let got = batched.access_run(base, stride, n, is_write, Privilege::Kernel);
+                assert_eq!(got, expect, "stride {stride} write {is_write}");
+                assert_eq!(looped.stats(), batched.stats());
+                assert_eq!(looped.clock, batched.clock);
+                // Residency and LRU state are indistinguishable.
+                for set in 0..looped.num_sets as usize {
+                    for way in 0..looped.cfg.assoc {
+                        let (a, b) = (looped.sets[set * 2 + way], batched.sets[set * 2 + way]);
+                        assert_eq!(a.tag, b.tag);
+                        assert_eq!(a.valid, b.valid);
+                        assert_eq!(a.dirty, b.dirty);
+                        assert_eq!(a.stamp, b.stamp);
+                        assert_eq!(a.owner, b.owner);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

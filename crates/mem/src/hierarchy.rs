@@ -47,11 +47,13 @@ impl Hierarchy {
     }
 
     /// The configuration this hierarchy was built with.
+    #[inline]
     pub fn config(&self) -> &HierarchyConfig {
         &self.cfg
     }
 
     /// Instruction fetch at `pc`; returns the access latency in cycles.
+    #[inline]
     pub fn fetch(&mut self, pc: u64, owner: Privilege) -> u64 {
         let l1 = self.l1i.access(pc, false, owner);
         if l1.hit {
@@ -62,6 +64,7 @@ impl Hierarchy {
     }
 
     /// Data access at `addr`; returns the access latency in cycles.
+    #[inline]
     pub fn data_access(&mut self, addr: u64, is_write: bool, owner: Privilege) -> u64 {
         let l1 = self.l1d.access(addr, is_write, owner);
         let mut latency = self.cfg.l1d.hit_latency;
@@ -76,6 +79,66 @@ impl Hierarchy {
         }
         latency += self.level2(addr, is_write, owner);
         latency
+    }
+
+    /// Batched data accesses walking `base, base + stride, …`, exactly
+    /// equivalent to `n` [`Hierarchy::data_access`] calls in a loop —
+    /// identical statistics, LRU stamps, and write-backs at every level —
+    /// but folding the guaranteed-hit within-line repeats of a
+    /// sequential walk into one bookkeeping step per line.
+    ///
+    /// Returns the summed per-access latencies, as the loop would.
+    pub fn data_access_run(
+        &mut self,
+        base: u64,
+        stride: u64,
+        n: u64,
+        is_write: bool,
+        owner: Privilege,
+    ) -> u64 {
+        let line = self.cfg.l1d.line;
+        let mut total = 0;
+        let mut k = 0;
+        while k < n {
+            let addr = base + stride * k;
+            let in_line = if stride == 0 {
+                n - k
+            } else {
+                (line - (addr & (line - 1))).div_ceil(stride)
+            };
+            let g = in_line.min(n - k);
+            total += self.data_access(addr, is_write, owner);
+            if g > 1 {
+                // The first access left the line resident and MRU in L1D,
+                // so the remaining g-1 accesses are L1D hits: they never
+                // reach L2 and each costs the L1D hit latency.
+                self.l1d.touch_repeat(addr, g - 1, is_write, owner);
+                total += (g - 1) * self.cfg.l1d.hit_latency;
+            }
+            k += g;
+        }
+        total
+    }
+
+    /// Folds `n` guaranteed L1D hits to the just-accessed line at `addr`
+    /// into one bookkeeping step (see [`Cache::touch_repeat`]). Returns
+    /// the latency those hits cost: `n` times the L1D hit latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr`'s line is not resident and MRU in L1D — the
+    /// caller must have just issued [`Hierarchy::data_access`] (or a
+    /// previous repeat) to the same line.
+    #[inline]
+    pub fn data_touch_repeat(
+        &mut self,
+        addr: u64,
+        n: u64,
+        is_write: bool,
+        owner: Privilege,
+    ) -> u64 {
+        self.l1d.touch_repeat(addr, n, is_write, owner);
+        n * self.cfg.l1d.hit_latency
     }
 
     fn level2(&mut self, addr: u64, is_write: bool, owner: Privilege) -> u64 {
@@ -202,6 +265,41 @@ mod tests {
         assert_eq!(delta.l1d.os_accesses, 2);
         assert_eq!(delta.l1d.os_misses, 1);
         assert_eq!(delta.l1d.app_accesses, 0);
+    }
+
+    #[test]
+    fn data_access_run_matches_per_access_loop() {
+        for stride in [0u64, 8, 24, 64, 160] {
+            for is_write in [false, true] {
+                let mut looped = mem();
+                let mut batched = mem();
+                // Enough accesses to spill L1D and produce L2 traffic and
+                // writebacks on the write passes.
+                let (base, n) = (0x100_0000u64, 3_000u64);
+                let mut expect = 0;
+                for k in 0..n {
+                    expect += looped.data_access(base + stride * k, is_write, Privilege::Kernel);
+                }
+                let got = batched.data_access_run(base, stride, n, is_write, Privilege::Kernel);
+                assert_eq!(got, expect, "stride {stride} write {is_write}");
+                assert_eq!(looped.snapshot(), batched.snapshot());
+                // The hierarchies are observationally identical afterwards.
+                for probe in (0..64u64).map(|i| base + i * 64) {
+                    assert_eq!(looped.l1d().probe(probe), batched.l1d().probe(probe));
+                    assert_eq!(looped.l2().probe(probe), batched.l2().probe(probe));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_touch_repeat_charges_l1d_hits() {
+        let mut m = mem();
+        m.data_access(0x1000, false, Privilege::User);
+        let lat = m.data_touch_repeat(0x1008, 3, false, Privilege::User);
+        assert_eq!(lat, 3 * m.config().l1d.hit_latency);
+        assert_eq!(m.snapshot().l1d.app_accesses, 4);
+        assert_eq!(m.snapshot().l1d.app_misses, 1);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod config;
 pub mod hierarchy;
 pub mod stats;
 
-pub use cache::{AccessOutcome, Cache};
+pub use cache::{AccessOutcome, Cache, RunOutcome};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::Hierarchy;
 pub use stats::{CacheStats, HierarchySnapshot};

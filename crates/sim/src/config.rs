@@ -1,6 +1,6 @@
 //! Simulation run configuration.
 
-use osprey_cpu::{Core, CpuConfig, EmulationCore, InOrderCore, OooCore};
+use osprey_cpu::{Core, CpuConfig, EmulationCore, InOrderCore, OooCore, Unfused};
 use osprey_mem::HierarchyConfig;
 use osprey_os::KernelConfig;
 use osprey_workloads::Benchmark;
@@ -53,6 +53,25 @@ impl CoreModel {
             CoreModel::Emulation => Box::new(EmulationCore::new()),
         }
     }
+
+    /// Instantiates the core wrapped in [`Unfused`], forcing the
+    /// trait-default per-instruction `step_block` loop.
+    ///
+    /// This is the reference path the fused hot-path implementations are
+    /// verified against: a run built this way must produce a
+    /// byte-identical `RunReport` and trace to [`CoreModel::build`]. The
+    /// `hotpath` perf gate uses it for its before/after comparison.
+    pub fn build_reference(self) -> Box<dyn Core> {
+        match self {
+            CoreModel::OooCache => Box::new(Unfused(OooCore::new(CpuConfig::pentium4()))),
+            CoreModel::OooNoCache => Box::new(Unfused(OooCore::new(CpuConfig::pentium4_nocache()))),
+            CoreModel::InOrderCache => Box::new(Unfused(InOrderCore::new(CpuConfig::pentium4()))),
+            CoreModel::InOrderNoCache => {
+                Box::new(Unfused(InOrderCore::new(CpuConfig::pentium4_nocache())))
+            }
+            CoreModel::Emulation => Box::new(Unfused(EmulationCore::new())),
+        }
+    }
 }
 
 impl std::fmt::Display for CoreModel {
@@ -103,6 +122,10 @@ pub struct SimConfig {
     pub os_mode: OsMode,
     /// Synthetic-kernel tunables.
     pub kernel: KernelConfig,
+    /// Use the unfused per-instruction reference core
+    /// ([`CoreModel::build_reference`]) instead of the fused hot path.
+    /// Timing-identical by contract; only wall-clock differs.
+    pub reference_core: bool,
 }
 
 impl SimConfig {
@@ -117,6 +140,7 @@ impl SimConfig {
             core: CoreModel::OooCache,
             os_mode: OsMode::Full,
             kernel: KernelConfig::default(),
+            reference_core: false,
         }
     }
 
@@ -154,6 +178,14 @@ impl SimConfig {
     /// Sets kernel tunables.
     pub fn with_kernel(mut self, kernel: KernelConfig) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Runs on the unfused per-instruction reference core. The fused and
+    /// reference paths are timing-identical; this exists so tools (the
+    /// `hotpath` gate) can compare their wall clocks and reports.
+    pub fn with_reference_core(mut self) -> Self {
+        self.reference_core = true;
         self
     }
 

@@ -139,7 +139,11 @@ impl FullSystemSim {
 
     /// Binds a cold machine around pre-built (unverified) parts.
     fn from_parts(cfg: SimConfig, workload: Box<dyn Workload>, kernel: Kernel) -> Self {
-        let core = cfg.core.build();
+        let core = if cfg.reference_core {
+            cfg.core.build_reference()
+        } else {
+            cfg.core.build()
+        };
         let mem = Hierarchy::new(cfg.hierarchy());
         let records = Vec::with_capacity(workload.len_hint().min(1 << 20));
         Self {

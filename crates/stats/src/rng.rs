@@ -57,7 +57,27 @@ impl SmallRng {
         self.state
     }
 
+    /// Advances the stream past `n` draws without computing their
+    /// values — exactly equivalent to `n` [`SmallRng::next_u64`] calls
+    /// with the results discarded. SplitMix64's state is a pure
+    /// counter (`state += γ` per draw; outputs are a function of the
+    /// state alone), so skipping is one multiply instead of `n` mixes.
+    /// Bulk consumers (the block generator's class-totals fast path)
+    /// use this to stay draw-order identical to the full expansion
+    /// while never touching the values they do not need.
+    #[inline]
+    pub fn skip(&mut self, n: u64) {
+        self.state = self
+            .state
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(n));
+    }
+
     /// Returns the next 64 uniformly distributed bits.
+    ///
+    /// `#[inline]` because this is the innermost call of the block
+    /// generator's per-instruction loop and must fold into callers in
+    /// other crates without LTO.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.state;
@@ -68,6 +88,7 @@ impl SmallRng {
 
     /// Samples a value of type `T` (uniform `f64` in `[0,1)`, fair
     /// `bool`, or full-range integer).
+    #[inline]
     pub fn random<T: Random>(&mut self) -> T {
         T::random_from(self)
     }
@@ -78,12 +99,14 @@ impl SmallRng {
     /// # Panics
     ///
     /// Panics if the range is empty.
+    #[inline]
     pub fn random_range<T, R: RandRange<T>>(&mut self, range: R) -> T {
         range.pick(self)
     }
 
     /// Uniform integer in `[0, bound)` via the widening-multiply method
     /// (no modulo bias worth speaking of at our range sizes).
+    #[inline]
     fn below(&mut self, bound: u64) -> u64 {
         debug_assert!(bound > 0);
         (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
@@ -98,24 +121,28 @@ pub trait Random {
 
 impl Random for f64 {
     /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
     fn random_from(rng: &mut SmallRng) -> f64 {
         (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 }
 
 impl Random for bool {
+    #[inline]
     fn random_from(rng: &mut SmallRng) -> bool {
         rng.next_u64() & 1 == 1
     }
 }
 
 impl Random for u64 {
+    #[inline]
     fn random_from(rng: &mut SmallRng) -> u64 {
         rng.next_u64()
     }
 }
 
 impl Random for u32 {
+    #[inline]
     fn random_from(rng: &mut SmallRng) -> u32 {
         (rng.next_u64() >> 32) as u32
     }
@@ -130,6 +157,7 @@ pub trait RandRange<T> {
 macro_rules! impl_rand_range {
     ($($t:ty),*) => {$(
         impl RandRange<$t> for Range<$t> {
+            #[inline]
             fn pick(self, rng: &mut SmallRng) -> $t {
                 assert!(self.start < self.end, "empty range");
                 let span = (self.end - self.start) as u64;
@@ -138,6 +166,7 @@ macro_rules! impl_rand_range {
         }
 
         impl RandRange<$t> for RangeInclusive<$t> {
+            #[inline]
             fn pick(self, rng: &mut SmallRng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "empty range");
